@@ -1,0 +1,244 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataproc"
+	"repro/internal/experiments"
+	"repro/internal/fog"
+	"repro/internal/hbase"
+	"repro/internal/hdfs"
+	"repro/internal/nn"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// benchExperiment runs one registered experiment per iteration; these are
+// the "regenerate table/figure X" benchmarks of DESIGN.md §4.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, int64(42+i))
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkE1_EndToEndPipeline(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2_CameraNetwork(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3_FogOffloadSweep(b *testing.B)        { benchExperiment(b, "E3") }
+func BenchmarkE4_IngestPipeline(b *testing.B)         { benchExperiment(b, "E4") }
+func BenchmarkE5_EarlyExitDetector(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6_DetectionExamples(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7_ActionRecognition(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8_ResNetShortcutAblation(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9_AssociateExpansion(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkE10_PersonsOfInterest(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11_MultiModalFusion(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12_CameraControlDRL(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13_StorageLayer(b *testing.B)          { benchExperiment(b, "E13") }
+func BenchmarkE14_DataprocMLlib(b *testing.B)         { benchExperiment(b, "E14") }
+
+// --- Micro-benchmarks for the substrates' hot paths ---
+
+func BenchmarkTensorMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 64, 64)
+	y := tensor.Randn(rng, 1, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	layer := nn.NewConv2D(nn.ConvConfig{InC: 3, OutC: 16, Kernel: 3, Stride: 1, Pad: 1}, nn.WithRand(rng))
+	x := tensor.Randn(rng, 1, 8, 3, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layer.Forward(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSTMForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	layer := nn.NewLSTM(32, 64, nn.WithRand(rng))
+	x := tensor.Randn(rng, 1, 8, 16, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layer.Forward(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHDFSWriteRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	cluster := hdfs.NewCluster(hdfs.Config{BlockSize: 4096, Replication: 3}, rng)
+	for i := 0; i < 4; i++ {
+		if err := cluster.AddDataNode(fmt.Sprintf("dn-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := make([]byte, 64*1024)
+	rng.Read(payload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/bench/%d", i)
+		if err := cluster.Write(path, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cluster.Read(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHBaseRandomReads(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	cluster := hdfs.NewCluster(hdfs.Config{BlockSize: 16 * 1024, Replication: 2}, rng)
+	for i := 0; i < 3; i++ {
+		if err := cluster.AddDataNode(fmt.Sprintf("dn-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	table, err := hbase.NewTable("bench", []string{"f"}, hbase.DefaultConfig(), cluster)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const rows = 5000
+	for i := 0; i < rows; i++ {
+		if err := table.Put(fmt.Sprintf("row-%05d", i), "f", "v", []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("row-%05d", rng.Intn(rows))
+		if _, err := table.Get(key, "f", "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamProduceConsume(b *testing.B) {
+	broker := stream.NewBroker()
+	if err := broker.CreateTopic("bench", 4); err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("camera frame annotation record")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := broker.Produce("bench", fmt.Sprintf("k%d", i%16), payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 99 {
+			if _, err := broker.Poll("g", "bench", 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDataprocWordCount(b *testing.B) {
+	docs := make([]any, 500)
+	for i := range docs {
+		docs[i] = "crime traffic jam incident report camera downtown alert"
+	}
+	eng := dataproc.NewEngine(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Parallelize(docs, 8).
+			FlatMap(func(v any) []any {
+				var out []any
+				for _, w := range strings.Fields(v.(string)) {
+					out = append(out, dataproc.Pair{Key: w, Value: 1})
+				}
+				return out
+			}).
+			ReduceByKey(func(a, c any) any { return a.(int) + c.(int) }).
+			CollectPairs()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFogSimulation(b *testing.B) {
+	d, err := fog.BuildDeployment(fog.DefaultDeploymentConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	items := make([]fog.InferenceItem, 500)
+	for i := range items {
+		items[i] = fog.InferenceItem{
+			ID: fmt.Sprintf("f%d", i), EdgeIdx: i % 8, ReleaseMs: float64(i),
+			Confidence: rng.Float64(), RawBytes: 30000, FeatureBytes: 6000,
+			LocalOps: 150, ServerOps: 1800, FullOps: 2200,
+		}
+	}
+	policy := fog.Policy{Kind: fog.PolicyEarlyExit, Threshold: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs, err := policy.JobsFor(d, items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Topo.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE15_GeospatialCNN(b *testing.B)   { benchExperiment(b, "E15") }
+func BenchmarkE16_OpioidAnalytics(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17_GraphAnalytics(b *testing.B)  { benchExperiment(b, "E17") }
+
+// BenchmarkDataParallelTraining measures the software layer's "data
+// parallelism ... multiple workers per node" claim: synchronous replicated
+// training at several worker counts on a fixed batch.
+func BenchmarkDataParallelTraining(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			factory := func() nn.Layer {
+				r := rand.New(rand.NewSource(9))
+				return nn.NewSequential(
+					nn.NewDense(64, 128, nn.WithRand(r)),
+					nn.NewTanh(),
+					nn.NewDense(128, 10, nn.WithRand(r)),
+				)
+			}
+			master := factory()
+			trainer, err := nn.NewParallelTrainer(master, workers, factory)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(10))
+			x := tensor.Randn(rng, 1, 256, 64)
+			labels := make([]int, 256)
+			for i := range labels {
+				labels[i] = rng.Intn(10)
+			}
+			opt := nn.NewSGD(0.01, 0.9)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := trainer.Step(x, labels, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

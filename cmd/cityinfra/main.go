@@ -1,0 +1,127 @@
+// Command cityinfra boots the full cyberinfrastructure, streams a month of
+// synthetic city data through the Fig. 4 pipeline, and prints status
+// reports for every layer. It is the operational entry point a deployment
+// would script against.
+//
+//	go run ./cmd/cityinfra                 # boot + ingest + report
+//	go run ./cmd/cityinfra -tweets 10000   # heavier ingest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/citydata"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/viz"
+	"repro/internal/web"
+
+	"math/rand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cityinfra:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cityinfra", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	tweetCount := fs.Int("tweets", 3000, "tweets to ingest")
+	wazeCount := fs.Int("waze", 800, "waze reports to ingest")
+	callCount := fs.Int("calls", 400, "911 calls to ingest")
+	serve := fs.String("serve", "", "after ingesting, serve the dashboard API on this address (e.g. :8080)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := core.DefaultConfig()
+
+	fmt.Println("booting cyberinfrastructure ...")
+	inf, err := core.New(cfg, rng)
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
+	inv := viz.NewTable("layer inventory (Fig. 1)", "layer", "component")
+	for _, l := range inf.Inventory() {
+		for _, c := range l.Components {
+			inv.AddRow(l.Layer, c)
+		}
+	}
+	fmt.Println(inv)
+
+	// Data layer: one month of city data.
+	incidents, err := citydata.GenerateCrimes(citydata.DefaultCrimeConfig(cfg.Epoch), inf.Gang.Nodes(), rng)
+	if err != nil {
+		return err
+	}
+	tcfg := citydata.DefaultTweetConfig(cfg.Epoch)
+	tcfg.Count = *tweetCount
+	tweets, err := citydata.GenerateTweets(tcfg, incidents, inf.Gang, rng)
+	if err != nil {
+		return err
+	}
+	waze, err := citydata.GenerateWaze(*wazeCount, inf.Cameras, cfg.Epoch, rng)
+	if err != nil {
+		return err
+	}
+	calls, err := citydata.Generate911(*callCount, cfg.Epoch, rng)
+	if err != nil {
+		return err
+	}
+
+	flows := viz.NewTable("ingestion (Fig. 4)", "source", "collected", "stored")
+	ts, err := inf.IngestTweets(tweets)
+	if err != nil {
+		return err
+	}
+	flows.AddRow("tweets", ts.Collected, ts.Stored)
+	ws, err := inf.IngestWaze(waze)
+	if err != nil {
+		return err
+	}
+	flows.AddRow("waze", ws.Collected, ws.Stored)
+	cs, err := inf.IngestCrimes(incidents, "/warehouse/crimes/"+cfg.Epoch.Format("2006-01")+".json")
+	if err != nil {
+		return err
+	}
+	flows.AddRow("crimes", cs.Collected, cs.Stored)
+	ns, err := inf.Ingest911(calls)
+	if err != nil {
+		return err
+	}
+	flows.AddRow("911 calls", ns.Collected, ns.Stored)
+	fmt.Println(flows)
+
+	// Sample queries the web/visualization tier would issue.
+	br := geo.Point{Lat: 30.4515, Lon: -91.1871}
+	docs, err := inf.TweetsNear(br, 10, cfg.Epoch, cfg.Epoch.Add(31*24*time.Hour))
+	if err != nil {
+		return err
+	}
+	q := viz.NewTable("sample analytics queries", "query", "result")
+	q.AddRow("tweets within 10 km of Baton Rouge", len(docs))
+	for d := 1; d <= 3; d++ {
+		rows, err := inf.CrimesInDistrict(d)
+		if err != nil {
+			return err
+		}
+		q.AddRow(fmt.Sprintf("crimes in district %d", d), len(rows))
+	}
+	hdfsStatus := inf.HDFS.Status()
+	q.AddRow("HDFS files / blocks", fmt.Sprintf("%d / %d", hdfsStatus.Files, hdfsStatus.Blocks))
+	fmt.Println(q)
+
+	if *serve != "" {
+		fmt.Printf("serving dashboard API on %s (GET /api/health, /api/inventory, /api/tweets/near, ...)\n", *serve)
+		// Blocks until the process is killed — the operational mode.
+		return http.ListenAndServe(*serve, web.NewServer(inf))
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Towards Distributed
+// Cyberinfrastructure for Smart Cities using Big Data and Deep Learning
+// Technologies" (Shams et al., ICDCS 2018): the four-layer smart-city
+// cyberinfrastructure, every big-data substrate it names (HDFS, YARN,
+// Spark-style processing, HBase, MongoDB-style documents, Flume, Sqoop, a
+// partitioned stream broker), a complete neural-network stack (CNNs with
+// the paper's conv-shortcut ResNet blocks, LSTMs, early-exit branch
+// networks, multi-modal autoencoders, CCA, DQN), the four-tier fog
+// simulator, and the three applications built on top.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// root package holds only the benchmark harness (bench_test.go); all
+// functionality lives under internal/.
+package repro

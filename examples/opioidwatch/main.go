@@ -1,0 +1,94 @@
+// Opioidwatch: the paper's §V future-work direction made concrete. It
+// generates the multi-source district-month opioid panel (prescriptions,
+// drug-related tweets, 911 calls, substance arrests — the exact sources §V
+// lists), fits a distributed regression on the dataproc engine, ranks
+// districts by predicted risk, and flags the factors driving each.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/citydata"
+	"repro/internal/dataproc"
+	"repro/internal/mllib"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "opioidwatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(3))
+	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	records, truth, err := citydata.GenerateOpioidPanel(12, 36, start, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("panel: %d district-months across 12 districts, 2016-2018\n", len(records))
+
+	// Distributed regression over the panel.
+	rows := make([]any, len(records))
+	for i, rec := range records {
+		rows[i] = mllib.RegressionPoint{
+			Features: mllib.Vector{
+				rec.PrescriptionsPer1k / 100,
+				float64(rec.DrugTweets) / 100,
+				float64(rec.Calls911Drug) / 100,
+				float64(rec.SubstanceArrests) / 100,
+			},
+			Target: rec.OverdoseDeaths,
+		}
+	}
+	eng := dataproc.NewEngine(4)
+	model, err := mllib.LinearRegression(eng.Parallelize(rows, 4), 4, 2000, 0.05)
+	if err != nil {
+		return err
+	}
+	names := []string{"prescriptions/1k", "drug tweets", "911 drug calls", "substance arrests"}
+	scales := []float64{100, 100, 100, 100}
+	planted := []float64{truth.PrescriptionWeight, truth.TweetWeight, truth.CallWeight, truth.ArrestWeight}
+	fmt.Println("recovered risk factors (planted vs learned):")
+	for i, n := range names {
+		fmt.Printf("  %-20s planted %.3f  learned %.3f\n", n, planted[i], model.Weights[i]/scales[i])
+	}
+
+	// Rank districts by mean predicted overdose burden.
+	type district struct {
+		id   int
+		pred float64
+		n    int
+	}
+	byDistrict := make(map[int]*district)
+	for i, rec := range records {
+		d, ok := byDistrict[rec.District]
+		if !ok {
+			d = &district{id: rec.District}
+			byDistrict[rec.District] = d
+		}
+		d.pred += model.Predict(rows[i].(mllib.RegressionPoint).Features)
+		d.n++
+	}
+	ranked := make([]*district, 0, len(byDistrict))
+	for _, d := range byDistrict {
+		d.pred /= float64(d.n)
+		ranked = append(ranked, d)
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].pred > ranked[j].pred })
+	fmt.Println("highest-risk districts (mean predicted monthly overdoses):")
+	for i, d := range ranked {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  district %2d: %.1f\n", d.id, d.pred)
+	}
+	fmt.Println("(paper §V: 'data sources that we plan to analyze include ... the number of opioid")
+	fmt.Println(" prescriptions ... drug-related activities ... 911 calls' — this pipeline wires them)")
+	return nil
+}

@@ -1,0 +1,81 @@
+package citydata
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// OpioidRecord is one district-month observation for the paper's §V future
+// direction: "Deep learning-based analytics using our cyberinfrastructure
+// may uncover additional factors that explain why opioid mortality rates
+// are at epidemic levels." The listed data sources — prescriptions, social
+// media, 911 calls, substance-related arrests — become features; overdose
+// deaths the target.
+type OpioidRecord struct {
+	District int       `json:"district"`
+	Month    time.Time `json:"month"`
+	// Features.
+	PrescriptionsPer1k float64 `json:"prescriptionsPer1k"`
+	DrugTweets         int     `json:"drugTweets"`
+	Calls911Drug       int     `json:"calls911Drug"`
+	SubstanceArrests   int     `json:"substanceArrests"`
+	TrafficVolume      float64 `json:"trafficVolume"` // distractor: no causal role
+	// Target.
+	OverdoseDeaths float64 `json:"overdoseDeaths"`
+}
+
+// OpioidGroundTruth holds the generator's causal coefficients so analyses
+// can be validated against what was planted.
+type OpioidGroundTruth struct {
+	PrescriptionWeight float64
+	TweetWeight        float64
+	CallWeight         float64
+	ArrestWeight       float64
+	Baseline           float64
+}
+
+// GenerateOpioidPanel produces districts×months records with a planted
+// linear-causal structure plus noise. The deliberately-included
+// TrafficVolume feature has no effect on the target, so a correct analysis
+// assigns it a near-zero coefficient.
+func GenerateOpioidPanel(districts, months int, start time.Time, rng *rand.Rand) ([]OpioidRecord, OpioidGroundTruth, error) {
+	if districts <= 0 || months <= 0 {
+		return nil, OpioidGroundTruth{}, fmt.Errorf("%w: %d districts × %d months", ErrBadConfig, districts, months)
+	}
+	truth := OpioidGroundTruth{
+		PrescriptionWeight: 0.08,
+		TweetWeight:        0.02,
+		CallWeight:         0.05,
+		ArrestWeight:       0.03,
+		Baseline:           1.5,
+	}
+	first := time.Date(start.Year(), start.Month(), 1, 0, 0, 0, 0, time.UTC)
+	out := make([]OpioidRecord, 0, districts*months)
+	for d := 1; d <= districts; d++ {
+		// District-level propensity makes some districts persistently worse.
+		propensity := 0.5 + rng.Float64()
+		for m := 0; m < months; m++ {
+			rec := OpioidRecord{
+				District:           d,
+				Month:              first.AddDate(0, m, 0),
+				PrescriptionsPer1k: propensity * (40 + 30*rng.Float64()),
+				DrugTweets:         int(propensity * float64(rng.Intn(80))),
+				Calls911Drug:       int(propensity * float64(rng.Intn(40))),
+				SubstanceArrests:   int(propensity * float64(rng.Intn(25))),
+				TrafficVolume:      1000 + 500*rng.Float64(),
+			}
+			rec.OverdoseDeaths = truth.Baseline +
+				truth.PrescriptionWeight*rec.PrescriptionsPer1k +
+				truth.TweetWeight*float64(rec.DrugTweets) +
+				truth.CallWeight*float64(rec.Calls911Drug) +
+				truth.ArrestWeight*float64(rec.SubstanceArrests) +
+				0.5*rng.NormFloat64()
+			if rec.OverdoseDeaths < 0 {
+				rec.OverdoseDeaths = 0
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, truth, nil
+}

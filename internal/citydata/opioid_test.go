@@ -1,0 +1,80 @@
+package citydata
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGenerateOpioidPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	start := time.Date(2016, 1, 15, 0, 0, 0, 0, time.UTC)
+	records, truth, err := GenerateOpioidPanel(6, 12, start, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 72 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if truth.PrescriptionWeight <= 0 || truth.Baseline <= 0 {
+		t.Fatalf("truth = %+v", truth)
+	}
+	districts := make(map[int]int)
+	for _, r := range records {
+		districts[r.District]++
+		if r.OverdoseDeaths < 0 {
+			t.Fatalf("negative deaths: %+v", r)
+		}
+		if r.Month.Day() != 1 {
+			t.Fatalf("month not normalized: %v", r.Month)
+		}
+	}
+	if len(districts) != 6 {
+		t.Fatalf("districts = %d", len(districts))
+	}
+	for d, n := range districts {
+		if n != 12 {
+			t.Fatalf("district %d has %d months", d, n)
+		}
+	}
+	if _, _, err := GenerateOpioidPanel(0, 12, start, rng); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpioidCausalStructure(t *testing.T) {
+	// The target must correlate with the causal features but not with the
+	// distractor. Use a big panel and simple correlation.
+	rng := rand.New(rand.NewSource(2))
+	records, _, err := GenerateOpioidPanel(12, 36, time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := func(f func(OpioidRecord) float64) float64 {
+		n := float64(len(records))
+		var sx, sy, sxy, sxx, syy float64
+		for _, r := range records {
+			x, y := f(r), r.OverdoseDeaths
+			sx += x
+			sy += y
+			sxy += x * y
+			sxx += x * x
+			syy += y * y
+		}
+		num := sxy - sx*sy/n
+		den := (sxx - sx*sx/n) * (syy - sy*sy/n)
+		if den <= 0 {
+			return 0
+		}
+		return num * num / den // squared correlation
+	}
+	rxPrescriptions := corr(func(r OpioidRecord) float64 { return r.PrescriptionsPer1k })
+	rxTraffic := corr(func(r OpioidRecord) float64 { return r.TrafficVolume })
+	if rxPrescriptions < 0.3 {
+		t.Fatalf("prescriptions r² = %g, should be strong", rxPrescriptions)
+	}
+	if rxTraffic > 0.05 {
+		t.Fatalf("distractor r² = %g, should be near zero", rxTraffic)
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/citydata"
+	"repro/internal/docstore"
+	"repro/internal/flume"
+	"repro/internal/geo"
+)
+
+// PipelineStats counts one ingestion run (Fig. 4 report).
+type PipelineStats struct {
+	Collected int // events produced by collectors
+	Streamed  int // records that crossed the broker
+	Stored    int // documents/cells written to NoSQL stores
+	Dropped   int
+}
+
+// storageGroup is the broker consumer group used by the storage tier.
+const storageGroup = "storage-tier"
+
+// IngestTweets runs the Fig. 4 collection path for tweets: a Flume agent
+// pumps the collector output into the stream broker; the storage tier
+// drains the topic into the document store with geo and author indexes.
+func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats, error) {
+	events := make([]flume.Event, len(tweets))
+	for i, tw := range tweets {
+		body, err := json.Marshal(tw)
+		if err != nil {
+			return PipelineStats{}, fmt.Errorf("marshal tweet: %w", err)
+		}
+		events[i] = flume.Event{Headers: map[string]string{"author": tw.Author}, Body: body}
+	}
+	sink := flume.FuncSink(func(batch []flume.Event) error {
+		for _, e := range batch {
+			if _, _, err := inf.Broker.Produce("tweets", e.Headers["author"], e.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	agent := flume.NewAgent("twitter-collector", flume.NewSliceSource(events), sink, flume.Config{BatchSize: 64})
+	for !agent.Drained() {
+		if _, err := agent.Pump(16); err != nil {
+			return PipelineStats{}, fmt.Errorf("flume pump: %w", err)
+		}
+	}
+	stats := PipelineStats{Collected: len(tweets)}
+	m := agent.Metrics()
+	stats.Dropped = m.Dropped
+
+	// Storage tier: drain broker into docstore.
+	col := inf.DocDB.Collection("tweets")
+	for {
+		recs, err := inf.Broker.Poll(storageGroup, "tweets", 256)
+		if err != nil {
+			return stats, fmt.Errorf("poll tweets: %w", err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		stats.Streamed += len(recs)
+		for _, r := range recs {
+			var tw citydata.Tweet
+			if err := json.Unmarshal(r.Value, &tw); err != nil {
+				return stats, fmt.Errorf("decode tweet: %w", err)
+			}
+			doc := docstore.Document{
+				"author":   tw.Author,
+				"text":     tw.Text,
+				"unixTime": float64(tw.Time.Unix()),
+				"loc":      tw.Location,
+			}
+			if _, err := col.Insert(doc); err != nil {
+				return stats, fmt.Errorf("store tweet: %w", err)
+			}
+			stats.Stored++
+		}
+	}
+	return stats, nil
+}
+
+// IngestWaze streams crowd-sourced traffic reports into the document store.
+func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineStats, error) {
+	stats := PipelineStats{Collected: len(reports)}
+	for _, r := range reports {
+		body, err := json.Marshal(r)
+		if err != nil {
+			return stats, fmt.Errorf("marshal waze: %w", err)
+		}
+		if _, _, err := inf.Broker.Produce("waze", string(r.Kind), body); err != nil {
+			return stats, fmt.Errorf("produce waze: %w", err)
+		}
+	}
+	col := inf.DocDB.Collection("waze")
+	for {
+		recs, err := inf.Broker.Poll(storageGroup, "waze", 256)
+		if err != nil {
+			return stats, fmt.Errorf("poll waze: %w", err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		stats.Streamed += len(recs)
+		for _, rec := range recs {
+			var r citydata.WazeReport
+			if err := json.Unmarshal(rec.Value, &r); err != nil {
+				return stats, fmt.Errorf("decode waze: %w", err)
+			}
+			doc := docstore.Document{
+				"kind":     string(r.Kind),
+				"severity": r.Severity,
+				"speedKmh": r.SpeedKmh,
+				"unixTime": float64(r.Time.Unix()),
+				"loc":      r.Location,
+				"user":     r.UserReport,
+			}
+			if _, err := col.Insert(doc); err != nil {
+				return stats, fmt.Errorf("store waze: %w", err)
+			}
+			stats.Stored++
+		}
+	}
+	return stats, nil
+}
+
+// crimeRowKey builds HBase row keys that cluster by district then time, so
+// district scans are contiguous.
+func crimeRowKey(inc citydata.Incident) string {
+	return fmt.Sprintf("d%02d|%s|%s", inc.District, inc.Time.UTC().Format(time.RFC3339), inc.ReportNumber)
+}
+
+// IngestCrimes writes incidents to the HBase crimes table (random-access
+// path) and archives the raw batch into HDFS (batch path) — both sides of
+// the paper's HDFS/HBase contrast.
+func (inf *Infrastructure) IngestCrimes(incidents []citydata.Incident, archivePath string) (PipelineStats, error) {
+	stats := PipelineStats{Collected: len(incidents)}
+	for _, inc := range incidents {
+		row := crimeRowKey(inc)
+		puts := map[string]string{
+			"offense":  string(inc.Offense),
+			"code":     inc.OffenseCode,
+			"address":  inc.Address,
+			"district": strconv.Itoa(inc.District),
+			"time":     inc.Time.UTC().Format(time.RFC3339),
+			"agency":   inc.Agency,
+			"lat":      strconv.FormatFloat(inc.Location.Lat, 'f', 6, 64),
+			"lon":      strconv.FormatFloat(inc.Location.Lon, 'f', 6, 64),
+		}
+		for q, v := range puts {
+			if err := inf.CrimeTab.Put(row, "meta", q, []byte(v)); err != nil {
+				return stats, fmt.Errorf("hbase put: %w", err)
+			}
+			stats.Stored++
+		}
+		for i, p := range inc.Persons {
+			v := p.Role + ":" + p.ID
+			if err := inf.CrimeTab.Put(row, "persons", strconv.Itoa(i), []byte(v)); err != nil {
+				return stats, fmt.Errorf("hbase persons put: %w", err)
+			}
+			stats.Stored++
+		}
+	}
+	if archivePath != "" {
+		raw, err := json.Marshal(incidents)
+		if err != nil {
+			return stats, fmt.Errorf("marshal archive: %w", err)
+		}
+		if err := inf.HDFS.Write(archivePath, raw); err != nil {
+			return stats, fmt.Errorf("archive crimes: %w", err)
+		}
+	}
+	return stats, nil
+}
+
+// Ingest911 stores emergency calls into the document store.
+func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, error) {
+	stats := PipelineStats{Collected: len(calls)}
+	col := inf.DocDB.Collection("calls911")
+	for _, c := range calls {
+		doc := docstore.Document{
+			"category": c.Category,
+			"priority": c.Priority,
+			"unixTime": float64(c.Time.Unix()),
+			"loc":      c.Location,
+		}
+		if _, err := col.Insert(doc); err != nil {
+			return stats, fmt.Errorf("store 911: %w", err)
+		}
+		stats.Stored++
+	}
+	return stats, nil
+}
+
+// TweetsNear returns stored tweets within radiusKm of center posted in
+// [from, to].
+func (inf *Infrastructure) TweetsNear(center geo.Point, radiusKm float64, from, to time.Time) ([]docstore.Document, error) {
+	return inf.DocDB.Collection("tweets").Find(docstore.Query{Conditions: []docstore.Condition{
+		docstore.GeoWithin("loc", center, radiusKm),
+		docstore.Range("unixTime", float64(from.Unix()), float64(to.Unix())),
+	}})
+}
+
+// CrimesInDistrict scans the HBase crimes table for one district.
+func (inf *Infrastructure) CrimesInDistrict(district int) ([]string, error) {
+	rows, err := inf.CrimeTab.ScanPrefix(fmt.Sprintf("d%02d|", district))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r.Row)
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package dataproc_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataproc"
+)
+
+// Example runs the canonical distributed word count over incident
+// descriptions.
+func Example() {
+	eng := dataproc.NewEngine(4)
+	docs := []any{
+		"robbery on plank rd",
+		"robbery suspect fled",
+		"pothole on plank rd",
+	}
+	counts, err := eng.Parallelize(docs, 3).
+		FlatMap(func(v any) []any {
+			var out []any
+			for _, w := range strings.Fields(v.(string)) {
+				out = append(out, dataproc.Pair{Key: w, Value: 1})
+			}
+			return out
+		}).
+		ReduceByKey(func(a, b any) any { return a.(int) + b.(int) }).
+		CollectPairs()
+	if err != nil {
+		fmt.Println("wordcount:", err)
+		return
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].Value.(int) != counts[j].Value.(int) {
+			return counts[i].Value.(int) > counts[j].Value.(int)
+		}
+		return counts[i].Key < counts[j].Key
+	})
+	for _, p := range counts[:3] {
+		fmt.Printf("%s=%d\n", p.Key, p.Value)
+	}
+	// Output:
+	// on=2
+	// plank=2
+	// rd=2
+}

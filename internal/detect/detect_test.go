@@ -1,0 +1,242 @@
+package detect_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/vision"
+
+	// The test lives outside the package to break the detect↔vision test
+	// import cycle; the dot import keeps the test bodies readable.
+	. "repro/internal/detect"
+)
+
+func TestIoUKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Box
+		want float64
+	}{
+		{"identical", Box{0.5, 0.5, 0.2, 0.2}, Box{0.5, 0.5, 0.2, 0.2}, 1},
+		{"disjoint", Box{0.2, 0.2, 0.1, 0.1}, Box{0.8, 0.8, 0.1, 0.1}, 0},
+		{"half-overlap-x", Box{0.5, 0.5, 0.2, 0.2}, Box{0.6, 0.5, 0.2, 0.2}, 1.0 / 3.0},
+		{"contained", Box{0.5, 0.5, 0.4, 0.4}, Box{0.5, 0.5, 0.2, 0.2}, 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IoU(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("IoU = %g, want %g", got, tt.want)
+			}
+			if got := IoU(tt.b, tt.a); math.Abs(got-tt.want) > 1e-9 {
+				t.Fatal("IoU must be symmetric")
+			}
+		})
+	}
+}
+
+func TestNMSSuppressesOverlaps(t *testing.T) {
+	dets := []Detection{
+		{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0, Score: 0.9},
+		{Box: Box{0.51, 0.5, 0.2, 0.2}, Class: 0, Score: 0.8}, // overlaps first
+		{Box: Box{0.51, 0.5, 0.2, 0.2}, Class: 1, Score: 0.7}, // other class: kept
+		{Box: Box{0.1, 0.1, 0.1, 0.1}, Class: 0, Score: 0.6},  // far away: kept
+	}
+	kept := NMS(dets, 0.5)
+	if len(kept) != 3 {
+		t.Fatalf("kept %d detections: %+v", len(kept), kept)
+	}
+	if kept[0].Score != 0.9 {
+		t.Fatalf("NMS must keep highest score first, got %g", kept[0].Score)
+	}
+	for _, k := range kept {
+		if k.Score == 0.8 {
+			t.Fatal("overlapping same-class detection survived")
+		}
+	}
+	if got := NMS(nil, 0.5); len(got) != 0 {
+		t.Fatal("empty NMS")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(Config{}, rng); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty config err = %v", err)
+	}
+	if _, err := New(Config{InC: 3, Size: 13, Grid: 3, Classes: 2, StemChannels: 4}, rng); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("indivisible err = %v", err)
+	}
+}
+
+func testConfig() Config {
+	return Config{InC: 3, Size: 12, Grid: 3, Classes: 4, StemChannels: 8}
+}
+
+func trainSmallDetector(t *testing.T, epochs int) (*Detector, *vision.DetectionSet) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	cfg := testConfig()
+	det, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := vision.Catalog(cfg.Classes, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := vision.GenerateDetection(catalog, 96, cfg.Size, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewAdam(0.005)
+	const batch = 16
+	for e := 0; e < epochs; e++ {
+		perm := rng.Perm(set.Images.Dim(0))
+		for start := 0; start+batch <= len(perm); start += batch {
+			idx := perm[start : start+batch]
+			imgs, err := nn.GatherRows(set.Images, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truths := make([][]GroundTruth, batch)
+			for i, j := range idx {
+				truths[i] = set.Truths[j]
+			}
+			if _, _, err := det.TrainStep(imgs, truths); err != nil {
+				t.Fatal(err)
+			}
+			opt.Step(det.Params())
+		}
+	}
+	return det, set
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := testConfig()
+	det, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, _ := vision.Catalog(cfg.Classes, rng)
+	set, err := vision.GenerateDetection(catalog, 32, cfg.Size, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewAdam(0.005)
+	var first, last float64
+	for e := 0; e < 30; e++ {
+		lt, lf, err := det.TrainStep(set.Images, set.Truths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Step(det.Params())
+		if e == 0 {
+			first = lt + lf
+		}
+		last = lt + lf
+	}
+	if last >= first {
+		t.Fatalf("detector loss did not decrease: %g → %g", first, last)
+	}
+}
+
+func TestFullHeadHasMoreCapacityThanTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	det, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.FullParams() <= det.TinyParams() {
+		t.Fatalf("full %d params <= tiny %d", det.FullParams(), det.TinyParams())
+	}
+}
+
+func TestTrainedDetectorFindsVehicles(t *testing.T) {
+	det, set := trainSmallDetector(t, 25)
+
+	evalTiny, err := det.Evaluate(set.Images, set.Truths, TinyHead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalFull, err := det.Evaluate(set.Images, set.Truths, FullHead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both heads should localize far better than chance: a random box IoU on
+	// these scenes is ≈ 0.1; class chance is 0.25.
+	if evalFull.MeanIoU < 0.25 {
+		t.Fatalf("full head IoU = %g", evalFull.MeanIoU)
+	}
+	if evalFull.ClassAccuracy < 0.6 {
+		t.Fatalf("full head class accuracy = %g", evalFull.ClassAccuracy)
+	}
+	if evalTiny.ClassAccuracy < 0.4 {
+		t.Fatalf("tiny head class accuracy = %g", evalTiny.ClassAccuracy)
+	}
+	t.Logf("tiny: acc=%.2f iou=%.2f | full: acc=%.2f iou=%.2f",
+		evalTiny.ClassAccuracy, evalTiny.MeanIoU, evalFull.ClassAccuracy, evalFull.MeanIoU)
+}
+
+func TestEarlyExitFlow(t *testing.T) {
+	det, set := trainSmallDetector(t, 12)
+	n := 16
+	imgs, err := nn.GatherRows(set.Images, seq(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := det.DetectLocal(imgs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != n {
+		t.Fatalf("local results = %d", len(local))
+	}
+	served := 0
+	for _, lr := range local {
+		if lr.FeatureBytes <= 0 {
+			t.Fatal("feature bytes must be positive")
+		}
+		if lr.TopScore < 0.5 { // miss → ship feature map
+			dets, err := det.DetectServer(lr.Feature, 0.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			served++
+			_ = dets
+		}
+	}
+	t.Logf("server handled %d/%d items", served, n)
+	// Feature map must be smaller than the raw image (the offload saving).
+	raw := 3 * det.Config().Size * det.Config().Size * 8
+	if local[0].FeatureBytes >= raw*4 {
+		t.Fatalf("feature bytes %d not meaningfully smaller than raw*channels", local[0].FeatureBytes)
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestLossInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	det, err := New(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := tensor.New(2, 3, 12, 12)
+	if _, _, err := det.TrainStep(imgs, make([][]GroundTruth, 1)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("truth count err = %v", err)
+	}
+	if _, err := det.Evaluate(imgs, make([][]GroundTruth, 2), Head(9)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad head err = %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// apSample is one scored detection with its match outcome.
+type apSample struct {
+	score float64
+	tp    bool
+}
+
+// AveragePrecision computes the all-point average precision for one class
+// over a set of images, matching detections to ground truths greedily by
+// descending score at the given IoU threshold. Detections and truths are
+// per-image slices (parallel).
+func AveragePrecision(dets [][]Detection, truths [][]GroundTruth, class int, iouThreshold float64) (float64, error) {
+	if len(dets) != len(truths) {
+		return 0, fmt.Errorf("%w: %d detection lists vs %d truth lists", ErrBadInput, len(dets), len(truths))
+	}
+	var samples []apSample
+	totalTruth := 0
+	for img := range dets {
+		var gts []GroundTruth
+		for _, gt := range truths[img] {
+			if gt.Class == class {
+				gts = append(gts, gt)
+			}
+		}
+		totalTruth += len(gts)
+		matched := make([]bool, len(gts))
+
+		var classDets []Detection
+		for _, d := range dets[img] {
+			if d.Class == class {
+				classDets = append(classDets, d)
+			}
+		}
+		sort.SliceStable(classDets, func(i, j int) bool { return classDets[i].Score > classDets[j].Score })
+		for _, d := range classDets {
+			bestIoU, bestIdx := 0.0, -1
+			for gi, gt := range gts {
+				if matched[gi] {
+					continue
+				}
+				if iou := IoU(d.Box, gt.Box); iou > bestIoU {
+					bestIoU, bestIdx = iou, gi
+				}
+			}
+			if bestIdx >= 0 && bestIoU >= iouThreshold {
+				matched[bestIdx] = true
+				samples = append(samples, apSample{score: d.Score, tp: true})
+			} else {
+				samples = append(samples, apSample{score: d.Score, tp: false})
+			}
+		}
+	}
+	if totalTruth == 0 {
+		return 0, nil
+	}
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].score > samples[j].score })
+	// Precision-recall sweep.
+	tp, fp := 0, 0
+	type prPoint struct{ recall, precision float64 }
+	points := make([]prPoint, 0, len(samples))
+	for _, s := range samples {
+		if s.tp {
+			tp++
+		} else {
+			fp++
+		}
+		points = append(points, prPoint{
+			recall:    float64(tp) / float64(totalTruth),
+			precision: float64(tp) / float64(tp+fp),
+		})
+	}
+	// All-point interpolation: precision envelope from the right.
+	for i := len(points) - 2; i >= 0; i-- {
+		if points[i+1].precision > points[i].precision {
+			points[i].precision = points[i+1].precision
+		}
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for _, p := range points {
+		ap += (p.recall - prevRecall) * p.precision
+		prevRecall = p.recall
+	}
+	return ap, nil
+}
+
+// MeanAP averages AveragePrecision over all classes present in the ground
+// truth.
+func MeanAP(dets [][]Detection, truths [][]GroundTruth, classes int, iouThreshold float64) (float64, error) {
+	present := make(map[int]bool)
+	for _, ts := range truths {
+		for _, gt := range ts {
+			present[gt.Class] = true
+		}
+	}
+	if len(present) == 0 {
+		return 0, nil
+	}
+	total := 0.0
+	for c := 0; c < classes; c++ {
+		if !present[c] {
+			continue
+		}
+		ap, err := AveragePrecision(dets, truths, c, iouThreshold)
+		if err != nil {
+			return 0, err
+		}
+		total += ap
+	}
+	return total / float64(len(present)), nil
+}

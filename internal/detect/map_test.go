@@ -1,0 +1,173 @@
+package detect_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/vision"
+
+	. "repro/internal/detect"
+)
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	truths := [][]GroundTruth{
+		{{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0}},
+		{{Box: Box{0.3, 0.3, 0.2, 0.2}, Class: 0}},
+	}
+	dets := [][]Detection{
+		{{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0, Score: 0.9}},
+		{{Box: Box{0.3, 0.3, 0.2, 0.2}, Class: 0, Score: 0.8}},
+	}
+	ap, err := AveragePrecision(dets, truths, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap-1) > 1e-9 {
+		t.Fatalf("perfect AP = %g", ap)
+	}
+}
+
+func TestAveragePrecisionMisses(t *testing.T) {
+	truths := [][]GroundTruth{
+		{{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0}},
+		{{Box: Box{0.3, 0.3, 0.2, 0.2}, Class: 0}},
+	}
+	// One correct detection, one wildly wrong, one truth undetected.
+	dets := [][]Detection{
+		{{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0, Score: 0.9}},
+		{{Box: Box{0.9, 0.9, 0.05, 0.05}, Class: 0, Score: 0.8}},
+	}
+	ap, err := AveragePrecision(dets, truths, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tp at rank 1 (p=1, r=0.5), fp at rank 2 → AP = 0.5.
+	if math.Abs(ap-0.5) > 1e-9 {
+		t.Fatalf("AP = %g, want 0.5", ap)
+	}
+}
+
+func TestAveragePrecisionDuplicatesArePenalized(t *testing.T) {
+	truths := [][]GroundTruth{{{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0}}}
+	dets := [][]Detection{{
+		{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0, Score: 0.9},
+		{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0, Score: 0.8}, // duplicate
+	}}
+	ap, err := AveragePrecision(dets, truths, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recall 1 achieved at precision 1; duplicate adds fp after full recall,
+	// so all-point AP stays 1.0 — but the duplicate can never count as tp.
+	if ap != 1.0 {
+		t.Fatalf("AP = %g", ap)
+	}
+	// With the duplicate scored higher than the true positive, precision at
+	// full recall drops.
+	dets2 := [][]Detection{{
+		{Box: Box{0.9, 0.9, 0.05, 0.05}, Class: 0, Score: 0.95}, // fp first
+		{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0, Score: 0.8},
+	}}
+	ap2, err := AveragePrecision(dets2, truths, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap2-0.5) > 1e-9 {
+		t.Fatalf("fp-first AP = %g, want 0.5", ap2)
+	}
+}
+
+func TestAveragePrecisionInputMismatch(t *testing.T) {
+	if _, err := AveragePrecision(make([][]Detection, 2), make([][]GroundTruth, 1), 0, 0.5); err == nil {
+		t.Fatal("want mismatch error")
+	}
+}
+
+func TestMeanAPAveragesPresentClasses(t *testing.T) {
+	truths := [][]GroundTruth{
+		{{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0}},
+		{{Box: Box{0.3, 0.3, 0.2, 0.2}, Class: 2}},
+	}
+	dets := [][]Detection{
+		{{Box: Box{0.5, 0.5, 0.2, 0.2}, Class: 0, Score: 0.9}},
+		{}, // class 2 never detected → AP 0
+	}
+	m, err := MeanAP(dets, truths, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-0.5) > 1e-9 {
+		t.Fatalf("mAP = %g, want 0.5 (classes 0 and 2 present)", m)
+	}
+	if m, _ := MeanAP(nil, nil, 3, 0.5); m != 0 {
+		t.Fatalf("empty mAP = %g", m)
+	}
+}
+
+func TestMultiObjectDetectionEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := Config{InC: 3, Size: 12, Grid: 3, Classes: 3, StemChannels: 8}
+	det, err := New(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := vision.Catalog(cfg.Classes, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := vision.GenerateMultiDetection(catalog, 96, cfg.Size, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewAdam(0.005)
+	const batch = 16
+	for e := 0; e < 20; e++ {
+		perm := rng.Perm(train.Images.Dim(0))
+		for start := 0; start+batch <= len(perm); start += batch {
+			idx := perm[start : start+batch]
+			imgs, err := nn.GatherRows(train.Images, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truths := make([][]GroundTruth, batch)
+			for i, j := range idx {
+				truths[i] = train.Truths[j]
+			}
+			if _, _, err := det.TrainStep(imgs, truths); err != nil {
+				t.Fatal(err)
+			}
+			opt.Step(det.Params())
+		}
+	}
+	dets, err := det.DetectBatch(train.Images, FullHead, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAP, err := MeanAP(dets, train.Truths, cfg.Classes, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("multi-object mAP@0.3 = %.3f", mAP)
+	if mAP < 0.15 {
+		t.Fatalf("mAP = %g, should beat random boxes by a wide margin", mAP)
+	}
+	// Frames with two objects should often yield two detections.
+	multiDetected := 0
+	multiTruth := 0
+	for i, ts := range train.Truths {
+		if len(ts) >= 2 {
+			multiTruth++
+			if len(dets[i]) >= 2 {
+				multiDetected++
+			}
+		}
+	}
+	if multiTruth == 0 {
+		t.Fatal("generator produced no multi-object frames")
+	}
+	if float64(multiDetected)/float64(multiTruth) < 0.3 {
+		t.Fatalf("detector found 2+ objects in only %d/%d multi-object frames", multiDetected, multiTruth)
+	}
+}

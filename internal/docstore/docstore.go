@@ -1,0 +1,408 @@
+// Package docstore simulates a MongoDB-style document database: schemaless
+// JSON-like documents in collections, secondary indexes over scalar fields,
+// and geospatial indexes over coordinate fields. The paper's software layer
+// uses MongoDB for "storing unstructured or semi-structured documents such
+// as JSON data ... equipped with various indexing techniques for efficient
+// query processing"; this package supplies that role for tweets, Waze
+// reports, and open city data.
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/geo"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound   = errors.New("docstore: document not found")
+	ErrNoIndex    = errors.New("docstore: index not found")
+	ErrBadQuery   = errors.New("docstore: invalid query")
+	ErrBadGeo     = errors.New("docstore: field is not a coordinate pair")
+	ErrCollection = errors.New("docstore: collection not found")
+)
+
+// Document is a schemaless record. Values are JSON-like: string, float64,
+// int, bool, nested maps/slices. The store assigns "_id".
+type Document map[string]any
+
+func (d Document) clone() Document {
+	out := make(Document, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out
+}
+
+// numeric coerces int/float values for comparison.
+func numeric(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// compare orders two field values: numerics numerically, strings
+// lexicographically, mixed types by type name. ok=false when incomparable.
+func compare(a, b any) (int, bool) {
+	if na, aok := numeric(a); aok {
+		if nb, bok := numeric(b); bok {
+			switch {
+			case na < nb:
+				return -1, true
+			case na > nb:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		return 0, false
+	}
+	sa, aok := a.(string)
+	sb, bok := b.(string)
+	if aok && bok {
+		switch {
+		case sa < sb:
+			return -1, true
+		case sa > sb:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// Condition is one query predicate.
+type Condition struct {
+	Field string
+	// Exactly one of the following applies.
+	Eq       any
+	Min, Max any // inclusive range; nil side = unbounded
+	IsRange  bool
+	// Geo query: documents whose Field is a {lat, lon} pair within RadiusKm
+	// of Center.
+	GeoCenter *geo.Point
+	RadiusKm  float64
+}
+
+// Eq builds an equality condition.
+func Eq(field string, value any) Condition { return Condition{Field: field, Eq: value} }
+
+// Range builds an inclusive range condition (nil = unbounded side).
+func Range(field string, minV, maxV any) Condition {
+	return Condition{Field: field, Min: minV, Max: maxV, IsRange: true}
+}
+
+// GeoWithin builds a radius condition over a coordinate field.
+func GeoWithin(field string, center geo.Point, radiusKm float64) Condition {
+	c := center
+	return Condition{Field: field, GeoCenter: &c, RadiusKm: radiusKm}
+}
+
+// Query is a conjunction of conditions.
+type Query struct {
+	Conditions []Condition
+	Limit      int // 0 = unlimited
+}
+
+// Collection holds documents with optional secondary and geo indexes.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	docs    map[string]Document
+	indexes map[string]map[string][]string // field → encoded value → doc ids
+	geoIdx  map[string]bool                // geo-indexed fields
+	seq     int64
+	// scansFull / scansIndexed track planner decisions for tests/benches.
+	scansFull    int
+	scansIndexed int
+}
+
+// Database is a set of named collections.
+type Database struct {
+	mu          sync.Mutex
+	collections map[string]*Collection
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{collections: make(map[string]*Collection)}
+}
+
+// Collection returns (creating if needed) a named collection.
+func (db *Database) Collection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.collections[name]
+	if !ok {
+		c = &Collection{
+			name:    name,
+			docs:    make(map[string]Document),
+			indexes: make(map[string]map[string][]string),
+			geoIdx:  make(map[string]bool),
+		}
+		db.collections[name] = c
+	}
+	return c
+}
+
+// Collections lists collection names, sorted.
+func (db *Database) Collections() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func encodeIndexKey(v any) (string, bool) {
+	if n, ok := numeric(v); ok {
+		return "n:" + strconv.FormatFloat(n, 'g', -1, 64), true
+	}
+	if s, ok := v.(string); ok {
+		return "s:" + s, true
+	}
+	if b, ok := v.(bool); ok {
+		return "b:" + strconv.FormatBool(b), true
+	}
+	return "", false
+}
+
+// CreateIndex builds an equality index over a scalar field.
+func (c *Collection) CreateIndex(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := make(map[string][]string)
+	for id, d := range c.docs {
+		if key, ok := encodeIndexKey(d[field]); ok {
+			idx[key] = append(idx[key], id)
+		}
+	}
+	c.indexes[field] = idx
+}
+
+// CreateGeoIndex marks a field as holding {lat, lon} documents for radius
+// queries. (Planning is done per query; validation happens at insert.)
+func (c *Collection) CreateGeoIndex(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.geoIdx[field] = true
+}
+
+// pointOf extracts a geo.Point from a document field of form
+// map[string]any{"lat": .., "lon": ..} or geo.Point.
+func pointOf(v any) (geo.Point, bool) {
+	switch x := v.(type) {
+	case geo.Point:
+		return x, true
+	case map[string]any:
+		lat, lok := numeric(x["lat"])
+		lon, nok := numeric(x["lon"])
+		if lok && nok {
+			return geo.Point{Lat: lat, Lon: lon}, true
+		}
+	}
+	return geo.Point{}, false
+}
+
+// Insert stores a document and returns its id. The input map is copied.
+func (c *Collection) Insert(d Document) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	id := c.name + "-" + strconv.FormatInt(c.seq, 10)
+	doc := d.clone()
+	doc["_id"] = id
+	// Validate geo-indexed fields eagerly so bad data fails fast.
+	for field := range c.geoIdx {
+		if v, ok := doc[field]; ok {
+			if _, pok := pointOf(v); !pok {
+				return "", fmt.Errorf("%w: %s", ErrBadGeo, field)
+			}
+		}
+	}
+	c.docs[id] = doc
+	for field, idx := range c.indexes {
+		if key, ok := encodeIndexKey(doc[field]); ok {
+			idx[key] = append(idx[key], id)
+		}
+	}
+	return id, nil
+}
+
+// Get returns a copy of the document with the given id.
+func (c *Collection) Get(id string) (Document, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return d.clone(), nil
+}
+
+// Delete removes a document.
+func (c *Collection) Delete(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(c.docs, id)
+	for field, idx := range c.indexes {
+		if key, ok := encodeIndexKey(d[field]); ok {
+			ids := idx[key]
+			for i, x := range ids {
+				if x == id {
+					idx[key] = append(ids[:i], ids[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Update replaces the non-id fields of a document.
+func (c *Collection) Update(id string, d Document) error {
+	if err := c.Delete(id); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc := d.clone()
+	doc["_id"] = id
+	c.docs[id] = doc
+	for field, idx := range c.indexes {
+		if key, ok := encodeIndexKey(doc[field]); ok {
+			idx[key] = append(idx[key], id)
+		}
+	}
+	return nil
+}
+
+// Count returns the number of documents.
+func (c *Collection) Count() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+func (c *Collection) matches(d Document, cond Condition) bool {
+	v, ok := d[cond.Field]
+	if !ok {
+		return false
+	}
+	switch {
+	case cond.GeoCenter != nil:
+		p, pok := pointOf(v)
+		if !pok {
+			return false
+		}
+		return geo.HaversineKm(*cond.GeoCenter, p) <= cond.RadiusKm
+	case cond.IsRange:
+		if cond.Min != nil {
+			if cmp, cok := compare(v, cond.Min); !cok || cmp < 0 {
+				return false
+			}
+		}
+		if cond.Max != nil {
+			if cmp, cok := compare(v, cond.Max); !cok || cmp > 0 {
+				return false
+			}
+		}
+		return true
+	default:
+		cmp, cok := compare(v, cond.Eq)
+		return cok && cmp == 0
+	}
+}
+
+// Find returns copies of all documents matching every condition, using an
+// equality index when one covers a condition. Results are sorted by _id for
+// determinism.
+func (c *Collection) Find(q Query) ([]Document, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cond := range q.Conditions {
+		if cond.Field == "" {
+			return nil, fmt.Errorf("%w: empty field", ErrBadQuery)
+		}
+	}
+	// Planner: use the first equality condition with an index.
+	var candidates []string
+	usedIndex := false
+	for _, cond := range q.Conditions {
+		if cond.GeoCenter != nil || cond.IsRange {
+			continue
+		}
+		if idx, ok := c.indexes[cond.Field]; ok {
+			if key, kok := encodeIndexKey(cond.Eq); kok {
+				candidates = append([]string(nil), idx[key]...)
+				usedIndex = true
+				break
+			}
+		}
+	}
+	if usedIndex {
+		c.scansIndexed++
+	} else {
+		c.scansFull++
+		candidates = make([]string, 0, len(c.docs))
+		for id := range c.docs {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Strings(candidates)
+	var out []Document
+	for _, id := range candidates {
+		d, ok := c.docs[id]
+		if !ok {
+			continue
+		}
+		all := true
+		for _, cond := range q.Conditions {
+			if !c.matches(d, cond) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, d.clone())
+			if q.Limit > 0 && len(out) >= q.Limit {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// PlannerStats reports how many Find calls used an index vs a full scan.
+type PlannerStats struct {
+	FullScans    int
+	IndexedScans int
+}
+
+// Planner returns planner counters.
+func (c *Collection) Planner() PlannerStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return PlannerStats{FullScans: c.scansFull, IndexedScans: c.scansIndexed}
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates, one runner per paper artifact, the
+// behaviors behind every figure and quantitative claim in the paper (see
+// DESIGN.md §4 for the full index). Each experiment is deterministic given
+// its seed, returns plain-text tables, and is exercised both by
+// cmd/experiments and by the repository-root benchmarks.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/viz"
+)
+
+// ErrUnknownExperiment is returned for unregistered experiment ids.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*viz.Table
+	Notes  []string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	out := fmt.Sprintf("### %s — %s\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Runner executes one experiment.
+type Runner func(rng *rand.Rand) (*Result, error)
+
+type registration struct {
+	id    string
+	title string
+	run   Runner
+}
+
+var registry = []registration{
+	{"E1", "Fig. 1 — four-layer architecture boots end to end", E1EndToEnd},
+	{"E2", "Fig. 2 — DOTD camera network across Louisiana", E2CameraNetwork},
+	{"E3", "Fig. 3 — four-tier fog pipeline offload sweep", E3FogOffloadSweep},
+	{"E4", "Fig. 4 — collection → NoSQL → analysis pipeline", E4IngestPipeline},
+	{"E5", "Fig. 5 — early-exit vehicle detector threshold sweep", E5EarlyExitDetector},
+	{"E6", "Fig. 6 — vehicle detection examples", E6DetectionExamples},
+	{"E7", "Fig. 7 — CNN+LSTM action recognition with entropy exits", E7ActionRecognition},
+	{"E8", "Fig. 8 — ResNet shortcut ablation (conv vs maxpool vs identity)", E8ShortcutAblation},
+	{"E9", "§IV.B — gang network associate expansion (67 groups, 982 members)", E9AssociateExpansion},
+	{"E10", "§IV.B — persons-of-interest narrowing funnel", E10PersonsOfInterest},
+	{"E11", "§III.C — multi-modal autoencoder fusion + CCA", E11MultiModalFusion},
+	{"E12", "§III.D — deep RL camera control vs baselines", E12CameraControlDRL},
+	{"E13", "§II.B/§II.C — storage layer: replication & HBase vs HDFS", E13StorageLayer},
+	{"E14", "§II.C — dataproc scaling & MLlib on crime data", E14DataprocMLlib},
+	{"E15", "§III.A — geospatial crime 'images' analyzed with CNNs", E15GeospatialCNN},
+	{"E16", "§V — opioid epidemic multi-source analytics (future work)", E16OpioidAnalytics},
+	{"E17", "§II.C — distributed graph analytics (PageRank, components)", E17GraphAnalytics},
+}
+
+// IDs lists experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Titles maps id → title.
+func Titles() map[string]string {
+	out := make(map[string]string, len(registry))
+	for _, r := range registry {
+		out[r.id] = r.title
+	}
+	return out
+}
+
+// Run executes one experiment by id with the given seed.
+func Run(id string, seed int64) (*Result, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.run(rand.New(rand.NewSource(seed)))
+		}
+	}
+	return nil, fmt.Errorf("%w: %s (known: %v)", ErrUnknownExperiment, id, IDs())
+}
+
+// RunAll executes every experiment and returns results in registry order.
+func RunAll(seed int64) ([]*Result, error) {
+	out := make([]*Result, 0, len(registry))
+	for _, r := range registry {
+		res, err := r.run(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", r.id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// sortedKeys returns map keys in sorted order, for stable table output.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

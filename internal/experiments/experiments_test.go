@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("registry has %d experiments, want 17 (E1..E17)", len(ids))
+	}
+	titles := Titles()
+	for _, id := range ids {
+		if titles[id] == "" {
+			t.Fatalf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", 1); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Each experiment must run deterministically and produce non-empty tables.
+// Heavier experiments are exercised individually so test failures localize.
+
+func runAndCheck(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, 42)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID != id {
+		t.Fatalf("result id = %s", res.ID)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	for _, tb := range res.Tables {
+		if tb.NumRows() == 0 {
+			t.Fatalf("%s produced an empty table", id)
+		}
+	}
+	if !strings.Contains(res.String(), res.ID) {
+		t.Fatalf("%s: String() missing id", id)
+	}
+	return res
+}
+
+func TestE1(t *testing.T)  { runAndCheck(t, "E1") }
+func TestE2(t *testing.T)  { runAndCheck(t, "E2") }
+func TestE3(t *testing.T)  { runAndCheck(t, "E3") }
+func TestE4(t *testing.T)  { runAndCheck(t, "E4") }
+func TestE6(t *testing.T)  { runAndCheck(t, "E6") }
+func TestE9(t *testing.T)  { runAndCheck(t, "E9") }
+func TestE10(t *testing.T) { runAndCheck(t, "E10") }
+func TestE11(t *testing.T) { runAndCheck(t, "E11") }
+func TestE12(t *testing.T) { runAndCheck(t, "E12") }
+func TestE13(t *testing.T) { runAndCheck(t, "E13") }
+func TestE14(t *testing.T) { runAndCheck(t, "E14") }
+
+func TestE5ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short")
+	}
+	res := runAndCheck(t, "E5")
+	// The sweep table's first data row (threshold 0) must be 100% local
+	// exits and the last row 0%: verify via the rendered output.
+	out := res.String()
+	if !strings.Contains(out, "threshold") {
+		t.Fatalf("missing sweep table:\n%s", out)
+	}
+}
+
+func TestE7ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short")
+	}
+	runAndCheck(t, "E7")
+}
+
+func TestE8ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short")
+	}
+	runAndCheck(t, "E8")
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run("E2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("E2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must reproduce identical output")
+	}
+	c, err := Run("E2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestE15(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment skipped in -short")
+	}
+	runAndCheck(t, "E15")
+}
+
+func TestE16(t *testing.T) { runAndCheck(t, "E16") }
+func TestE17(t *testing.T) { runAndCheck(t, "E17") }

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/citydata"
+	"repro/internal/core"
+	"repro/internal/socialgraph"
+	"repro/internal/viz"
+)
+
+// E9AssociateExpansion regenerates the §IV.B network statistics: 67 groups,
+// 982 members, ~14 first-degree associates, ~200 second-degree associates.
+func E9AssociateExpansion(rng *rand.Rand) (*Result, error) {
+	g, err := socialgraph.Generate(socialgraph.PaperConfig(), rng)
+	if err != nil {
+		return nil, err
+	}
+	first, second := g.MeanAssociates()
+	st := g.Degrees()
+
+	tb := viz.NewTable("gang network statistics vs paper", "metric", "paper", "measured")
+	tb.AddRow("groups/gangs", 67, 67)
+	tb.AddRow("members", 982, g.NumNodes())
+	tb.AddRow("mean 1st-degree associates", 14, first)
+	tb.AddRow("mean 2nd-degree associates", "~200", second)
+	tb.AddRow("max degree", "-", st.Max)
+
+	// Community detection: the paper network's heavy cross-group mixing (the
+	// very property that creates ~200 second-degree associates) makes it one
+	// connected blob, so label propagation is demonstrated on a
+	// cohesion-dominant variant (strong intra-group ties, sparse bridges) —
+	// the regime where gang boundaries are recoverable at all.
+	cohesive, err := socialgraph.Generate(socialgraph.GenConfig{
+		Groups: 67, Members: 982, IntraDegree: 8, CrossDegree: 1,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	labels := cohesive.Communities(30, rng)
+	communities := make(map[int]int)
+	for _, l := range labels {
+		communities[l]++
+	}
+	// Purity: for each community, the fraction of members sharing the modal
+	// planted group.
+	byCommunity := make(map[int]map[int]int)
+	for _, id := range cohesive.Nodes() {
+		grp, err := cohesive.Group(id)
+		if err != nil {
+			return nil, err
+		}
+		c := labels[id]
+		if byCommunity[c] == nil {
+			byCommunity[c] = make(map[int]int)
+		}
+		byCommunity[c][grp]++
+	}
+	pure, total := 0, 0
+	for _, groups := range byCommunity {
+		best, sum := 0, 0
+		for _, n := range groups {
+			sum += n
+			if n > best {
+				best = n
+			}
+		}
+		pure += best
+		total += sum
+	}
+	ct := viz.NewTable("community detection (label propagation, cohesion-dominant variant)", "metric", "value")
+	ct.AddRow("planted groups", 67)
+	ct.AddRow("communities found", len(communities))
+	ct.AddRow("purity vs planted groups", float64(pure)/float64(total))
+	return &Result{
+		ID: "E9", Title: "gang network associate expansion",
+		Tables: []*viz.Table{tb, ct},
+		Notes: []string{
+			"paper claim: 'each gang member has a network size of 14 first-degree associates on average'",
+			"paper claim: second-degree expansion 'may yield a field of interest which contains approximately 200 second-degree associates'",
+		},
+	}, nil
+}
+
+// E10PersonsOfInterest runs the §IV.B narrowing funnel over many incidents:
+// suspects → 1st/2nd-degree field → geo-time tweets → keyword-matched
+// persons of interest.
+func E10PersonsOfInterest(rng *rand.Rand) (*Result, error) {
+	cfg := core.DefaultConfig()
+	inf, err := core.New(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := citydata.DefaultCrimeConfig(cfg.Epoch)
+	ccfg.Count = 200
+	incidents, err := citydata.GenerateCrimes(ccfg, inf.Gang.Nodes(), rng)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := citydata.DefaultTweetConfig(cfg.Epoch)
+	tcfg.Count = 6000
+	tcfg.CrimeFraction = 0.25
+	tweets, err := citydata.GenerateTweets(tcfg, incidents, inf.Gang, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inf.IngestTweets(tweets); err != nil {
+		return nil, err
+	}
+
+	var funnels []*core.NarrowFunnel
+	for _, inc := range incidents {
+		f, err := inf.NarrowPersonsOfInterest(inc, core.DefaultNarrowConfig())
+		if err != nil {
+			return nil, err
+		}
+		if len(f.Suspects) > 0 {
+			funnels = append(funnels, f)
+		}
+	}
+	if len(funnels) == 0 {
+		return nil, fmt.Errorf("no gang-linked incidents in sample")
+	}
+	var meanField, meanNarrow, meanTweets float64
+	narrowedCases := 0
+	for _, f := range funnels {
+		meanField += float64(f.FieldSize)
+		meanTweets += float64(f.GeoTimeTweets)
+		if n := len(f.PersonsOfInterest); n > 0 {
+			meanNarrow += float64(n)
+			narrowedCases++
+		}
+	}
+	meanField /= float64(len(funnels))
+	meanTweets /= float64(len(funnels))
+	if narrowedCases > 0 {
+		meanNarrow /= float64(narrowedCases)
+	}
+
+	tb := viz.NewTable("persons-of-interest funnel (mean over gang-linked incidents)", "stage", "size")
+	tb.AddRow("incidents analyzed", len(funnels))
+	tb.AddRow("candidate field (1st+2nd degree)", meanField)
+	tb.AddRow("geo-time tweets in window", meanTweets)
+	tb.AddRow("narrowed persons of interest", meanNarrow)
+	reduction := 0.0
+	if meanNarrow > 0 {
+		reduction = meanField / meanNarrow
+	}
+	tb.AddRow("mean reduction factor", reduction)
+	return &Result{
+		ID: "E10", Title: "persons-of-interest narrowing funnel",
+		Tables: []*viz.Table{tb},
+		Notes: []string{
+			"paper claim: combining the 2nd-degree field with geo-targeted tweets during the incident window 'may provide a tighter focus around a much smaller persons-of-interest field'",
+			fmt.Sprintf("%d of %d incidents yielded a non-empty narrowed set", narrowedCases, len(funnels)),
+		},
+	}, nil
+}

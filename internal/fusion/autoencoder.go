@@ -1,0 +1,194 @@
+// Package fusion implements the paper's multi-modal analysis module
+// (§III.C): a deep autoencoder that fuses two modalities (e.g. video and
+// audio for gunshot detection) through a shared bottleneck, and classical
+// canonical correlation analysis. "Combining data from multiple modals can
+// greatly increase the performance of a learning system."
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ErrBadInput reports invalid inputs to the autoencoder.
+var ErrBadInput = errors.New("fusion: bad input")
+
+// AutoencoderConfig sizes the multi-modal autoencoder.
+type AutoencoderConfig struct {
+	DimA, DimB int // modality input widths
+	Hidden     int // per-modality encoder width
+	Bottleneck int // fused representation width
+}
+
+// Autoencoder is a two-modality fusion autoencoder: each modality is encoded
+// separately, the concatenated codes pass through a shared bottleneck, and
+// two decoders reconstruct both modalities from the fused code. The fused
+// code is the multi-modal feature used by downstream classifiers.
+type Autoencoder struct {
+	cfg  AutoencoderConfig
+	encA *nn.Sequential // [N, DimA] → [N, Hidden]
+	encB *nn.Sequential
+	fuse *nn.Sequential // [N, 2*Hidden] → [N, Bottleneck]
+	decA *nn.Sequential // [N, Bottleneck] → [N, DimA]
+	decB *nn.Sequential
+	loss nn.MSE
+}
+
+// NewAutoencoder builds the fusion autoencoder.
+func NewAutoencoder(cfg AutoencoderConfig, rng *rand.Rand) (*Autoencoder, error) {
+	if cfg.DimA <= 0 || cfg.DimB <= 0 || cfg.Hidden <= 0 || cfg.Bottleneck <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadInput, cfg)
+	}
+	opt := nn.WithRand(rng)
+	return &Autoencoder{
+		cfg: cfg,
+		encA: nn.NewSequential(
+			nn.NewDense(cfg.DimA, cfg.Hidden, opt), nn.NewTanh(),
+		),
+		encB: nn.NewSequential(
+			nn.NewDense(cfg.DimB, cfg.Hidden, opt), nn.NewTanh(),
+		),
+		fuse: nn.NewSequential(
+			nn.NewDense(2*cfg.Hidden, cfg.Bottleneck, opt), nn.NewTanh(),
+		),
+		decA: nn.NewSequential(
+			nn.NewDense(cfg.Bottleneck, cfg.Hidden, opt), nn.NewTanh(),
+			nn.NewDense(cfg.Hidden, cfg.DimA, opt),
+		),
+		decB: nn.NewSequential(
+			nn.NewDense(cfg.Bottleneck, cfg.Hidden, opt), nn.NewTanh(),
+			nn.NewDense(cfg.Hidden, cfg.DimB, opt),
+		),
+	}, nil
+}
+
+// Params returns all trainable parameters.
+func (a *Autoencoder) Params() []*nn.Param {
+	ps := append(a.encA.Params(), a.encB.Params()...)
+	ps = append(ps, a.fuse.Params()...)
+	ps = append(ps, a.decA.Params()...)
+	return append(ps, a.decB.Params()...)
+}
+
+func concatRows(x, y *tensor.Tensor) (*tensor.Tensor, error) {
+	n := x.Dim(0)
+	if y.Dim(0) != n {
+		return nil, fmt.Errorf("%w: batch %d vs %d", ErrBadInput, n, y.Dim(0))
+	}
+	dx, dy := x.Dim(1), y.Dim(1)
+	out := tensor.New(n, dx+dy)
+	for i := 0; i < n; i++ {
+		copy(out.Data()[i*(dx+dy):i*(dx+dy)+dx], x.Data()[i*dx:(i+1)*dx])
+		copy(out.Data()[i*(dx+dy)+dx:(i+1)*(dx+dy)], y.Data()[i*dy:(i+1)*dy])
+	}
+	return out, nil
+}
+
+func splitRows(g *tensor.Tensor, dx int) (*tensor.Tensor, *tensor.Tensor) {
+	n := g.Dim(0)
+	dy := g.Dim(1) - dx
+	gx := tensor.New(n, dx)
+	gy := tensor.New(n, dy)
+	for i := 0; i < n; i++ {
+		copy(gx.Data()[i*dx:(i+1)*dx], g.Data()[i*(dx+dy):i*(dx+dy)+dx])
+		copy(gy.Data()[i*dy:(i+1)*dy], g.Data()[i*(dx+dy)+dx:(i+1)*(dx+dy)])
+	}
+	return gx, gy
+}
+
+// forward computes the fused code for a batch (train toggles layer modes).
+func (a *Autoencoder) forward(xa, xb *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if xa.Dims() != 2 || xa.Dim(1) != a.cfg.DimA || xb.Dims() != 2 || xb.Dim(1) != a.cfg.DimB {
+		return nil, fmt.Errorf("%w: shapes %v %v", ErrBadInput, xa.Shape(), xb.Shape())
+	}
+	ha, err := a.encA.Forward(xa, train)
+	if err != nil {
+		return nil, fmt.Errorf("encA: %w", err)
+	}
+	hb, err := a.encB.Forward(xb, train)
+	if err != nil {
+		return nil, fmt.Errorf("encB: %w", err)
+	}
+	h, err := concatRows(ha, hb)
+	if err != nil {
+		return nil, err
+	}
+	z, err := a.fuse.Forward(h, train)
+	if err != nil {
+		return nil, fmt.Errorf("fuse: %w", err)
+	}
+	return z, nil
+}
+
+// Encode returns the fused representation for a batch (inference mode).
+func (a *Autoencoder) Encode(xa, xb *tensor.Tensor) (*tensor.Tensor, error) {
+	return a.forward(xa, xb, false)
+}
+
+// TrainStep runs one reconstruction step on a batch, accumulating gradients,
+// and returns the two reconstruction losses. The caller applies an
+// optimizer.
+func (a *Autoencoder) TrainStep(xa, xb *tensor.Tensor) (lossA, lossB float64, err error) {
+	z, err := a.forward(xa, xb, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	ra, err := a.decA.Forward(z, true)
+	if err != nil {
+		return 0, 0, fmt.Errorf("decA: %w", err)
+	}
+	rb, err := a.decB.Forward(z, true)
+	if err != nil {
+		return 0, 0, fmt.Errorf("decB: %w", err)
+	}
+	lossA, gA, err := a.loss.Loss(ra, xa)
+	if err != nil {
+		return 0, 0, err
+	}
+	lossB, gB, err := a.loss.Loss(rb, xb)
+	if err != nil {
+		return 0, 0, err
+	}
+	gzA, err := a.decA.Backward(gA)
+	if err != nil {
+		return 0, 0, fmt.Errorf("decA back: %w", err)
+	}
+	gzB, err := a.decB.Backward(gB)
+	if err != nil {
+		return 0, 0, fmt.Errorf("decB back: %w", err)
+	}
+	if err := gzA.AddInPlace(gzB); err != nil {
+		return 0, 0, err
+	}
+	gh, err := a.fuse.Backward(gzA)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fuse back: %w", err)
+	}
+	gha, ghb := splitRows(gh, a.cfg.Hidden)
+	if _, err := a.encA.Backward(gha); err != nil {
+		return 0, 0, fmt.Errorf("encA back: %w", err)
+	}
+	if _, err := a.encB.Backward(ghb); err != nil {
+		return 0, 0, fmt.Errorf("encB back: %w", err)
+	}
+	return lossA, lossB, nil
+}
+
+// Reconstruct returns both modality reconstructions (inference mode).
+func (a *Autoencoder) Reconstruct(xa, xb *tensor.Tensor) (ra, rb *tensor.Tensor, err error) {
+	z, err := a.forward(xa, xb, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ra, err = a.decA.Forward(z, false); err != nil {
+		return nil, nil, err
+	}
+	if rb, err = a.decB.Forward(z, false); err != nil {
+		return nil, nil, err
+	}
+	return ra, rb, nil
+}

@@ -1,0 +1,162 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CCAResult holds fitted canonical correlation directions.
+type CCAResult struct {
+	// Correlations are the canonical correlations, descending.
+	Correlations []float64
+	// WX (p×k) and WY (q×k) project each view onto the canonical space.
+	WX, WY [][]float64
+}
+
+// CCA computes canonical correlation analysis between two views X (n×p) and
+// Y (n×q), returning the top k canonical pairs. It is the paper's §III.C
+// second fusion technique. reg is a ridge term added to the within-view
+// covariances.
+func CCA(x, y [][]float64, k int, reg float64) (*CCAResult, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("%w: views have %d and %d rows", ErrNumeric, len(x), len(y))
+	}
+	p, q := len(x[0]), len(y[0])
+	if k <= 0 || k > p || k > q {
+		return nil, fmt.Errorf("%w: k=%d for views of width %d and %d", ErrNumeric, k, p, q)
+	}
+	// Center.
+	xc := centered(x, n, p)
+	yc := centered(y, n, q)
+	inv := 1.0 / float64(n-1)
+	sxx := scaled(matMulSq(transpose(xc, n, p), p, n, xc, p), inv)
+	syy := scaled(matMulSq(transpose(yc, n, q), q, n, yc, q), inv)
+	sxy := scaled(matMulSq(transpose(xc, n, p), p, n, yc, q), inv)
+	for i := 0; i < p; i++ {
+		sxx[i*p+i] += reg
+	}
+	for i := 0; i < q; i++ {
+		syy[i*q+i] += reg
+	}
+	sxxI, err := invSqrtSym(sxx, p, 1e-12)
+	if err != nil {
+		return nil, fmt.Errorf("sxx^-1/2: %w", err)
+	}
+	syyI, err := invSqrtSym(syy, q, 1e-12)
+	if err != nil {
+		return nil, fmt.Errorf("syy^-1/2: %w", err)
+	}
+	// M = Sxx^{-1/2} Sxy Syy^{-1/2}  (p×q); canonical correlations are its
+	// singular values. Compute via eigen of MᵀM (q×q).
+	m := matMulSq(matMulSq(sxxI, p, p, sxy, q), p, q, syyI, q)
+	mtm := matMulSq(transpose(m, p, q), q, p, m, q)
+	w, v, err := symEig(mtm, q)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct {
+		lambda float64
+		col    int
+	}
+	pairs := make([]pair, q)
+	for i := range pairs {
+		pairs[i] = pair{lambda: w[i], col: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].lambda > pairs[j].lambda })
+
+	res := &CCAResult{
+		Correlations: make([]float64, k),
+		WX:           make([][]float64, k),
+		WY:           make([][]float64, k),
+	}
+	for idx := 0; idx < k; idx++ {
+		lambda := pairs[idx].lambda
+		if lambda < 0 {
+			lambda = 0
+		}
+		sigma := math.Sqrt(lambda)
+		res.Correlations[idx] = clampCorr(sigma)
+		// Right singular vector (view Y direction in whitened space).
+		vy := make([]float64, q)
+		for i := 0; i < q; i++ {
+			vy[i] = v[i*q+pairs[idx].col]
+		}
+		// Left singular vector u = M·v / sigma.
+		ux := make([]float64, p)
+		for i := 0; i < p; i++ {
+			s := 0.0
+			for j := 0; j < q; j++ {
+				s += m[i*q+j] * vy[j]
+			}
+			ux[i] = s
+		}
+		if sigma > 1e-12 {
+			for i := range ux {
+				ux[i] /= sigma
+			}
+		}
+		// Un-whiten: wx = Sxx^{-1/2}·u, wy = Syy^{-1/2}·v.
+		res.WX[idx] = matVec(sxxI, p, p, ux)
+		res.WY[idx] = matVec(syyI, q, q, vy)
+	}
+	return res, nil
+}
+
+func clampCorr(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func centered(x [][]float64, n, d int) []float64 {
+	mean := make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	out := make([]float64, n*d)
+	for i, row := range x {
+		for j, v := range row {
+			out[i*d+j] = v - mean[j]
+		}
+	}
+	return out
+}
+
+func scaled(a []float64, s float64) []float64 {
+	for i := range a {
+		a[i] *= s
+	}
+	return a
+}
+
+func matVec(a []float64, m, n int, x []float64) []float64 {
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Project applies a canonical direction to a sample.
+func Project(w []float64, x []float64) float64 {
+	s := 0.0
+	for i := range w {
+		s += w[i] * x[i]
+	}
+	return s
+}

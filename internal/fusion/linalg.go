@@ -1,0 +1,127 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNumeric reports a numerical failure (non-convergence, singularity).
+var ErrNumeric = errors.New("fusion: numerical failure")
+
+// symEig computes the eigendecomposition of a symmetric matrix a (n×n,
+// row-major) using the cyclic Jacobi method. It returns eigenvalues and the
+// matrix of column eigenvectors v (a = v·diag(w)·vᵀ).
+func symEig(a []float64, n int) (w []float64, v []float64, err error) {
+	if len(a) != n*n {
+		return nil, nil, fmt.Errorf("%w: matrix size %d vs n=%d", ErrNumeric, len(a), n)
+	}
+	m := make([]float64, n*n)
+	copy(m, a)
+	v = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-22 {
+			w = make([]float64, n)
+			for i := 0; i < n; i++ {
+				w[i] = m[i*n+i]
+			}
+			return w, v, nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp := m[k*n+p]
+					akq := m[k*n+q]
+					m[k*n+p] = c*akp - s*akq
+					m[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := m[p*n+k]
+					aqk := m[q*n+k]
+					m[p*n+k] = c*apk - s*aqk
+					m[q*n+k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp := v[k*n+p]
+					vkq := v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("%w: jacobi did not converge", ErrNumeric)
+}
+
+// invSqrtSym computes a^{-1/2} for a symmetric positive-definite matrix,
+// regularizing eigenvalues below eps.
+func invSqrtSym(a []float64, n int, eps float64) ([]float64, error) {
+	w, v, err := symEig(a, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n*n)
+	for k := 0; k < n; k++ {
+		lambda := w[k]
+		if lambda < eps {
+			lambda = eps
+		}
+		scale := 1 / math.Sqrt(lambda)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				out[i*n+j] += scale * v[i*n+k] * v[j*n+k]
+			}
+		}
+	}
+	return out, nil
+}
+
+// matMulSq multiplies two square-ish row-major matrices: a (m×k) · b (k×n).
+func matMulSq(a []float64, m, k int, b []float64, n int) []float64 {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out[i*n+j] += av * b[p*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// transpose returns the transpose of a row-major m×n matrix.
+func transpose(a []float64, m, n int) []float64 {
+	out := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out[j*m+i] = a[i*n+j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package geo provides the geospatial primitives used across the
+// cyberinfrastructure: great-circle distance, geohash encoding, bounding
+// boxes, and an in-memory grid index supporting the "lightweight indexing
+// and querying services for big spatial data" role the paper's software
+// layer cites.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadCoordinate is returned for out-of-range latitudes or longitudes.
+var ErrBadCoordinate = errors.New("geo: coordinate out of range")
+
+// EarthRadiusKm is the mean Earth radius used by distance computations.
+const EarthRadiusKm = 6371.0
+
+// Point is a WGS84 coordinate.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// Validate checks coordinate ranges.
+func (p Point) Validate() error {
+	if p.Lat < -90 || p.Lat > 90 || p.Lon < -180 || p.Lon > 180 {
+		return fmt.Errorf("%w: (%g, %g)", ErrBadCoordinate, p.Lat, p.Lon)
+	}
+	return nil
+}
+
+// HaversineKm returns the great-circle distance between two points in km.
+func HaversineKm(a, b Point) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+const geohashBase32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+// EncodeGeohash returns the standard base-32 geohash of a point at the given
+// character precision (1..12).
+func EncodeGeohash(p Point, precision int) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	if precision < 1 || precision > 12 {
+		return "", fmt.Errorf("%w: geohash precision %d", ErrBadCoordinate, precision)
+	}
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	var out []byte
+	bit := 0
+	ch := 0
+	even := true
+	for len(out) < precision {
+		if even {
+			mid := (lonLo + lonHi) / 2
+			if p.Lon >= mid {
+				ch |= 1 << (4 - bit)
+				lonLo = mid
+			} else {
+				lonHi = mid
+			}
+		} else {
+			mid := (latLo + latHi) / 2
+			if p.Lat >= mid {
+				ch |= 1 << (4 - bit)
+				latLo = mid
+			} else {
+				latHi = mid
+			}
+		}
+		even = !even
+		if bit < 4 {
+			bit++
+		} else {
+			out = append(out, geohashBase32[ch])
+			bit, ch = 0, 0
+		}
+	}
+	return string(out), nil
+}
+
+// DecodeGeohash returns the center point of a geohash cell.
+func DecodeGeohash(hash string) (Point, error) {
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	even := true
+	for _, c := range hash {
+		idx := -1
+		for i := 0; i < len(geohashBase32); i++ {
+			if rune(geohashBase32[i]) == c {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return Point{}, fmt.Errorf("%w: geohash char %q", ErrBadCoordinate, c)
+		}
+		for bit := 4; bit >= 0; bit-- {
+			set := idx&(1<<bit) != 0
+			if even {
+				mid := (lonLo + lonHi) / 2
+				if set {
+					lonLo = mid
+				} else {
+					lonHi = mid
+				}
+			} else {
+				mid := (latLo + latHi) / 2
+				if set {
+					latLo = mid
+				} else {
+					latHi = mid
+				}
+			}
+			even = !even
+		}
+	}
+	return Point{Lat: (latLo + latHi) / 2, Lon: (lonLo + lonHi) / 2}, nil
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	MinLat, MaxLat float64
+	MinLon, MaxLon float64
+}
+
+// Contains reports whether p falls inside the box (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat && p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// GridIndex is a uniform spatial grid over a bounding box, mapping cell →
+// item ids. It supports box queries and radius queries, and is the storage
+// substrate for camera placement, incident lookups, and geo-tagged tweets.
+type GridIndex[T any] struct {
+	box        BBox
+	rows, cols int
+	cells      map[int][]entry[T]
+	count      int
+}
+
+type entry[T any] struct {
+	p Point
+	v T
+}
+
+// NewGridIndex creates a rows×cols grid over box.
+func NewGridIndex[T any](box BBox, rows, cols int) (*GridIndex[T], error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("%w: grid %dx%d", ErrBadCoordinate, rows, cols)
+	}
+	if box.MinLat >= box.MaxLat || box.MinLon >= box.MaxLon {
+		return nil, fmt.Errorf("%w: degenerate bbox %+v", ErrBadCoordinate, box)
+	}
+	return &GridIndex[T]{box: box, rows: rows, cols: cols, cells: make(map[int][]entry[T])}, nil
+}
+
+func (g *GridIndex[T]) cellOf(p Point) int {
+	r := int((p.Lat - g.box.MinLat) / (g.box.MaxLat - g.box.MinLat) * float64(g.rows))
+	c := int((p.Lon - g.box.MinLon) / (g.box.MaxLon - g.box.MinLon) * float64(g.cols))
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	return r*g.cols + c
+}
+
+// Insert adds a value at a point.
+func (g *GridIndex[T]) Insert(p Point, v T) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cell := g.cellOf(p)
+	g.cells[cell] = append(g.cells[cell], entry[T]{p: p, v: v})
+	g.count++
+	return nil
+}
+
+// Len returns the number of indexed items.
+func (g *GridIndex[T]) Len() int { return g.count }
+
+// QueryBox returns all values whose points fall inside box.
+func (g *GridIndex[T]) QueryBox(box BBox) []T {
+	var out []T
+	// Determine candidate cell range.
+	rLo := int((box.MinLat - g.box.MinLat) / (g.box.MaxLat - g.box.MinLat) * float64(g.rows))
+	rHi := int((box.MaxLat - g.box.MinLat) / (g.box.MaxLat - g.box.MinLat) * float64(g.rows))
+	cLo := int((box.MinLon - g.box.MinLon) / (g.box.MaxLon - g.box.MinLon) * float64(g.cols))
+	cHi := int((box.MaxLon - g.box.MinLon) / (g.box.MaxLon - g.box.MinLon) * float64(g.cols))
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	rLo, rHi = clamp(rLo, g.rows-1), clamp(rHi, g.rows-1)
+	cLo, cHi = clamp(cLo, g.cols-1), clamp(cHi, g.cols-1)
+	for r := rLo; r <= rHi; r++ {
+		for c := cLo; c <= cHi; c++ {
+			for _, e := range g.cells[r*g.cols+c] {
+				if box.Contains(e.p) {
+					out = append(out, e.v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Neighbor pairs a value with its distance from a query point.
+type Neighbor[T any] struct {
+	Value      T
+	DistanceKm float64
+}
+
+// QueryRadius returns all values within radiusKm of center, sorted by
+// ascending distance.
+func (g *GridIndex[T]) QueryRadius(center Point, radiusKm float64) []Neighbor[T] {
+	// Conservative degree padding: 1 degree latitude ≈ 111 km.
+	dLat := radiusKm / 111.0
+	cosLat := math.Cos(center.Lat * math.Pi / 180)
+	dLon := radiusKm / (111.0 * math.Max(0.01, cosLat))
+	box := BBox{
+		MinLat: center.Lat - dLat, MaxLat: center.Lat + dLat,
+		MinLon: center.Lon - dLon, MaxLon: center.Lon + dLon,
+	}
+	var out []Neighbor[T]
+	rLo := int((box.MinLat - g.box.MinLat) / (g.box.MaxLat - g.box.MinLat) * float64(g.rows))
+	rHi := int((box.MaxLat - g.box.MinLat) / (g.box.MaxLat - g.box.MinLat) * float64(g.rows))
+	cLo := int((box.MinLon - g.box.MinLon) / (g.box.MaxLon - g.box.MinLon) * float64(g.cols))
+	cHi := int((box.MaxLon - g.box.MinLon) / (g.box.MaxLon - g.box.MinLon) * float64(g.cols))
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	rLo, rHi = clamp(rLo, g.rows-1), clamp(rHi, g.rows-1)
+	cLo, cHi = clamp(cLo, g.cols-1), clamp(cHi, g.cols-1)
+	for r := rLo; r <= rHi; r++ {
+		for c := cLo; c <= cHi; c++ {
+			for _, e := range g.cells[r*g.cols+c] {
+				d := HaversineKm(center, e.p)
+				if d <= radiusKm {
+					out = append(out, Neighbor[T]{Value: e.v, DistanceKm: d})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DistanceKm < out[j].DistanceKm })
+	return out
+}

@@ -1,0 +1,207 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Baton Rouge and New Orleans, used throughout the paper's deployment.
+var (
+	batonRouge = Point{Lat: 30.4515, Lon: -91.1871}
+	newOrleans = Point{Lat: 29.9511, Lon: -90.0715}
+)
+
+func TestHaversineKnownDistance(t *testing.T) {
+	d := HaversineKm(batonRouge, newOrleans)
+	// Real-world distance is ≈ 125 km.
+	if d < 115 || d < 0 || d > 135 {
+		t.Fatalf("BR→NO distance = %g km, want ≈ 125", d)
+	}
+	if HaversineKm(batonRouge, batonRouge) != 0 {
+		t.Fatal("distance to self must be 0")
+	}
+}
+
+func TestHaversineSymmetryProperty(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Point{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		d1, d2 := HaversineKm(a, b), HaversineKm(b, a)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointValidate(t *testing.T) {
+	tests := []struct {
+		p  Point
+		ok bool
+	}{
+		{Point{0, 0}, true},
+		{Point{90, 180}, true},
+		{Point{-90, -180}, true},
+		{Point{91, 0}, false},
+		{Point{0, 181}, false},
+	}
+	for _, tt := range tests {
+		err := tt.p.Validate()
+		if tt.ok && err != nil {
+			t.Errorf("%+v: unexpected error %v", tt.p, err)
+		}
+		if !tt.ok && !errors.Is(err, ErrBadCoordinate) {
+			t.Errorf("%+v: err = %v, want ErrBadCoordinate", tt.p, err)
+		}
+	}
+}
+
+func TestGeohashKnownValue(t *testing.T) {
+	// Well-known test vector: (57.64911, 10.40744) → "u4pruydqqvj".
+	h, err := EncodeGeohash(Point{Lat: 57.64911, Lon: 10.40744}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != "u4pruydqqvj" {
+		t.Fatalf("geohash = %q, want u4pruydqqvj", h)
+	}
+}
+
+func TestGeohashRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := Point{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+		h, err := EncodeGeohash(p, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeGeohash(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Precision-9 cells are ≈ 5m; allow generous slack.
+		if HaversineKm(p, back) > 0.01 {
+			t.Fatalf("roundtrip moved %g km for %+v (%s)", HaversineKm(p, back), p, h)
+		}
+	}
+}
+
+func TestGeohashPrefixProperty(t *testing.T) {
+	// A longer geohash of the same point must extend the shorter one.
+	p := batonRouge
+	h6, _ := EncodeGeohash(p, 6)
+	h9, _ := EncodeGeohash(p, 9)
+	if h9[:6] != h6 {
+		t.Fatalf("prefix property violated: %s vs %s", h6, h9)
+	}
+}
+
+func TestGeohashErrors(t *testing.T) {
+	if _, err := EncodeGeohash(Point{Lat: 100}, 6); !errors.Is(err, ErrBadCoordinate) {
+		t.Fatalf("bad point err = %v", err)
+	}
+	if _, err := EncodeGeohash(batonRouge, 0); !errors.Is(err, ErrBadCoordinate) {
+		t.Fatalf("bad precision err = %v", err)
+	}
+	if _, err := DecodeGeohash("ab!"); !errors.Is(err, ErrBadCoordinate) {
+		t.Fatalf("bad char err = %v", err)
+	}
+}
+
+func louisianaBox() BBox {
+	return BBox{MinLat: 28.9, MaxLat: 33.1, MinLon: -94.1, MaxLon: -88.8}
+}
+
+func TestGridIndexInsertAndBoxQuery(t *testing.T) {
+	idx, err := NewGridIndex[string](louisianaBox(), 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(batonRouge, "BR"); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(newOrleans, "NO"); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 2 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	got := idx.QueryBox(BBox{MinLat: 30, MaxLat: 31, MinLon: -92, MaxLon: -91})
+	if len(got) != 1 || got[0] != "BR" {
+		t.Fatalf("QueryBox = %v", got)
+	}
+	all := idx.QueryBox(louisianaBox())
+	if len(all) != 2 {
+		t.Fatalf("full-box query = %v", all)
+	}
+}
+
+func TestGridIndexRadiusQuerySortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	idx, err := NewGridIndex[int](louisianaBox(), 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := louisianaBox()
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{
+			Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
+			Lon: box.MinLon + rng.Float64()*(box.MaxLon-box.MinLon),
+		}
+		if err := idx.Insert(pts[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const radius = 50.0
+	got := idx.QueryRadius(batonRouge, radius)
+	// Brute-force reference.
+	want := 0
+	for _, p := range pts {
+		if HaversineKm(batonRouge, p) <= radius {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("radius query found %d, brute force %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].DistanceKm < got[i-1].DistanceKm {
+			t.Fatal("radius results not sorted by distance")
+		}
+	}
+	for _, n := range got {
+		if n.DistanceKm > radius {
+			t.Fatalf("result at %g km exceeds radius", n.DistanceKm)
+		}
+	}
+}
+
+func TestGridIndexConstructionErrors(t *testing.T) {
+	if _, err := NewGridIndex[int](louisianaBox(), 0, 5); !errors.Is(err, ErrBadCoordinate) {
+		t.Fatalf("zero rows err = %v", err)
+	}
+	if _, err := NewGridIndex[int](BBox{MinLat: 1, MaxLat: 1, MinLon: 0, MaxLon: 1}, 4, 4); !errors.Is(err, ErrBadCoordinate) {
+		t.Fatalf("degenerate box err = %v", err)
+	}
+}
+
+func TestGridIndexInsertRejectsBadPoint(t *testing.T) {
+	idx, _ := NewGridIndex[int](louisianaBox(), 4, 4)
+	if err := idx.Insert(Point{Lat: 99, Lon: 0}, 1); !errors.Is(err, ErrBadCoordinate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBBoxContains(t *testing.T) {
+	b := louisianaBox()
+	if !b.Contains(batonRouge) {
+		t.Fatal("Baton Rouge should be in Louisiana")
+	}
+	if b.Contains(Point{Lat: 40.7, Lon: -74}) {
+		t.Fatal("New York should not be in Louisiana")
+	}
+}

@@ -1,0 +1,189 @@
+// Package graphproc implements distributed graph analytics on top of the
+// dataproc engine, filling the "graph-based processing" role the paper's
+// software layer cites (GraphX/GraphMap/GraphTwist): PageRank and connected
+// components expressed as iterative map/reduce jobs over an edge list, plus
+// helpers to run them directly on a socialgraph.Graph (identifying
+// influential members and isolated crews in the co-offense network).
+package graphproc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataproc"
+	"repro/internal/socialgraph"
+)
+
+// Sentinel errors.
+var (
+	ErrEmptyGraph = errors.New("graphproc: empty graph")
+	ErrBadParams  = errors.New("graphproc: invalid parameters")
+)
+
+// Edge is one directed edge.
+type Edge struct {
+	From, To string
+}
+
+// adjacency builds node → neighbors via a dataproc groupByKey.
+func adjacency(eng *dataproc.Engine, edges []Edge, parts int) (*dataproc.Dataset, []string, error) {
+	if len(edges) == 0 {
+		return nil, nil, ErrEmptyGraph
+	}
+	pairs := make([]dataproc.Pair, len(edges))
+	nodeSet := make(map[string]struct{})
+	for i, e := range edges {
+		pairs[i] = dataproc.Pair{Key: e.From, Value: e.To}
+		nodeSet[e.From] = struct{}{}
+		nodeSet[e.To] = struct{}{}
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	adj := eng.ParallelizePairs(pairs, parts).GroupByKey().Cache()
+	return adj, nodes, nil
+}
+
+// PageRank computes damped PageRank over a directed edge list as iterative
+// dataproc jobs. Dangling nodes (no out-edges) distribute uniformly via the
+// damping term, which is the standard simplification.
+func PageRank(eng *dataproc.Engine, edges []Edge, iters int, damping float64, parts int) (map[string]float64, error) {
+	if iters <= 0 || damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("%w: iters=%d damping=%g", ErrBadParams, iters, damping)
+	}
+	adj, nodes, err := adjacency(eng, edges, parts)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(nodes))
+	ranks := make(map[string]float64, len(nodes))
+	for _, node := range nodes {
+		ranks[node] = 1.0 / n
+	}
+	for iter := 0; iter < iters; iter++ {
+		current := ranks // capture for the closure
+		contribs := adj.FlatMap(func(r any) []any {
+			p := r.(dataproc.Pair)
+			nbrs := p.Value.([]any)
+			if len(nbrs) == 0 {
+				return nil
+			}
+			share := current[p.Key] / float64(len(nbrs))
+			out := make([]any, len(nbrs))
+			for i, nb := range nbrs {
+				out[i] = dataproc.Pair{Key: nb.(string), Value: share}
+			}
+			return out
+		}).ReduceByKey(func(a, b any) any { return a.(float64) + b.(float64) })
+		summed, err := contribs.CollectPairs()
+		if err != nil {
+			return nil, fmt.Errorf("pagerank iter %d: %w", iter, err)
+		}
+		next := make(map[string]float64, len(nodes))
+		base := (1 - damping) / n
+		for _, node := range nodes {
+			next[node] = base
+		}
+		for _, p := range summed {
+			next[p.Key] += damping * p.Value.(float64)
+		}
+		ranks = next
+	}
+	return ranks, nil
+}
+
+// ConnectedComponents labels each node with the smallest node id reachable
+// from it (undirected semantics: pass both edge directions or use
+// FromGraph). Implemented as iterative label propagation in dataproc until
+// a fixpoint.
+func ConnectedComponents(eng *dataproc.Engine, edges []Edge, parts int) (map[string]string, error) {
+	adj, nodes, err := adjacency(eng, edges, parts)
+	if err != nil {
+		return nil, err
+	}
+	labels := make(map[string]string, len(nodes))
+	for _, n := range nodes {
+		labels[n] = n
+	}
+	for iter := 0; iter < len(nodes); iter++ {
+		current := labels
+		proposals, err := adj.FlatMap(func(r any) []any {
+			p := r.(dataproc.Pair)
+			nbrs := p.Value.([]any)
+			own := current[p.Key]
+			out := make([]any, 0, len(nbrs))
+			for _, nb := range nbrs {
+				// Push my label to each neighbor.
+				out = append(out, dataproc.Pair{Key: nb.(string), Value: own})
+			}
+			return out
+		}).ReduceByKey(func(a, b any) any {
+			if a.(string) < b.(string) {
+				return a
+			}
+			return b
+		}).CollectPairs()
+		if err != nil {
+			return nil, fmt.Errorf("components iter %d: %w", iter, err)
+		}
+		changed := false
+		next := make(map[string]string, len(labels))
+		for k, v := range current {
+			next[k] = v
+		}
+		for _, p := range proposals {
+			if min := p.Value.(string); min < next[p.Key] {
+				next[p.Key] = min
+				changed = true
+			}
+		}
+		labels = next
+		if !changed {
+			break
+		}
+	}
+	return labels, nil
+}
+
+// FromGraph converts an undirected socialgraph into a bidirectional edge
+// list.
+func FromGraph(g *socialgraph.Graph) []Edge {
+	var edges []Edge
+	for _, node := range g.Nodes() {
+		nbrs, err := g.Neighbors(node)
+		if err != nil {
+			continue
+		}
+		for _, nb := range nbrs {
+			edges = append(edges, Edge{From: node, To: nb})
+		}
+	}
+	return edges
+}
+
+// Ranked pairs a node with its score for sorted reporting.
+type Ranked struct {
+	Node  string
+	Score float64
+}
+
+// TopK returns the k highest-ranked nodes.
+func TopK(ranks map[string]float64, k int) []Ranked {
+	out := make([]Ranked, 0, len(ranks))
+	for n, s := range ranks {
+		out = append(out, Ranked{Node: n, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,452 @@
+// Package hbase simulates an HBase-style wide-column store layered on the
+// hdfs package: writes go to a write-ahead log and a sorted in-memory
+// memstore, flushes produce immutable store files persisted in HDFS,
+// background compaction merges store files and drops tombstones, and reads
+// merge memstore and store files newest-first. Unlike HDFS's batch-only
+// access, the store supports efficient random reads and writes — exactly the
+// contrast the paper draws in §II.C.2.
+package hbase
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/hdfs"
+)
+
+// Sentinel errors.
+var (
+	ErrNoFamily = errors.New("hbase: unknown column family")
+	ErrNotFound = errors.New("hbase: cell not found")
+	ErrClosed   = errors.New("hbase: table closed")
+)
+
+// Cell is one versioned value.
+type Cell struct {
+	Row       string
+	Family    string
+	Qualifier string
+	Value     []byte
+	Timestamp int64 // logical timestamp; higher wins
+	Tombstone bool
+}
+
+func cellKey(row, family, qualifier string) string {
+	return row + "\x00" + family + "\x00" + qualifier
+}
+
+// storeFile is an immutable sorted run of cells persisted in HDFS.
+type storeFile struct {
+	path  string
+	cells []Cell // sorted by (key, -timestamp)
+	size  int
+}
+
+// Config tunes table behavior.
+type Config struct {
+	// FlushThreshold is the memstore cell count that triggers a flush.
+	FlushThreshold int
+	// CompactThreshold is the store-file count that triggers compaction.
+	CompactThreshold int
+}
+
+// DefaultConfig returns production-like defaults scaled for simulation.
+func DefaultConfig() Config { return Config{FlushThreshold: 256, CompactThreshold: 4} }
+
+// Table is a wide-column table. Safe for concurrent use.
+type Table struct {
+	mu       sync.Mutex
+	name     string
+	families map[string]struct{}
+	cfg      Config
+	fs       *hdfs.Cluster
+
+	memstore map[string][]Cell // key → versions, newest first
+	memCount int
+	wal      []Cell // unflushed cells, in arrival order
+	walSeq   int
+	files    []*storeFile // newest first
+	fileSeq  int
+	clock    int64
+	closed   bool
+
+	// Metrics.
+	flushes     int
+	compactions int
+}
+
+// NewTable creates a table with the given column families, persisting store
+// files in fs.
+func NewTable(name string, families []string, cfg Config, fs *hdfs.Cluster) (*Table, error) {
+	if len(families) == 0 {
+		return nil, fmt.Errorf("%w: table needs at least one family", ErrNoFamily)
+	}
+	if cfg.FlushThreshold <= 0 {
+		cfg.FlushThreshold = DefaultConfig().FlushThreshold
+	}
+	if cfg.CompactThreshold <= 1 {
+		cfg.CompactThreshold = DefaultConfig().CompactThreshold
+	}
+	t := &Table{
+		name:     name,
+		families: make(map[string]struct{}, len(families)),
+		cfg:      cfg,
+		fs:       fs,
+		memstore: make(map[string][]Cell),
+	}
+	for _, f := range families {
+		t.families[f] = struct{}{}
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Put writes one cell.
+func (t *Table) Put(row, family, qualifier string, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.families[family]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoFamily, family)
+	}
+	t.clock++
+	v := make([]byte, len(value))
+	copy(v, value)
+	c := Cell{Row: row, Family: family, Qualifier: qualifier, Value: v, Timestamp: t.clock}
+	return t.applyLocked(c)
+}
+
+// Delete writes a tombstone for one cell.
+func (t *Table) Delete(row, family, qualifier string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.families[family]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoFamily, family)
+	}
+	t.clock++
+	c := Cell{Row: row, Family: family, Qualifier: qualifier, Timestamp: t.clock, Tombstone: true}
+	return t.applyLocked(c)
+}
+
+func (t *Table) applyLocked(c Cell) error {
+	t.wal = append(t.wal, c)
+	key := cellKey(c.Row, c.Family, c.Qualifier)
+	t.memstore[key] = append([]Cell{c}, t.memstore[key]...)
+	t.memCount++
+	if t.memCount >= t.cfg.FlushThreshold {
+		if err := t.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces the memstore to a store file.
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	return t.flushLocked()
+}
+
+func (t *Table) flushLocked() error {
+	if t.memCount == 0 {
+		return nil
+	}
+	cells := make([]Cell, 0, t.memCount)
+	for _, versions := range t.memstore {
+		cells = append(cells, versions...)
+	}
+	sortCells(cells)
+	sf, err := t.persistStoreFile(cells)
+	if err != nil {
+		return fmt.Errorf("flush %s: %w", t.name, err)
+	}
+	t.files = append([]*storeFile{sf}, t.files...)
+	t.memstore = make(map[string][]Cell)
+	t.memCount = 0
+	t.wal = nil
+	t.walSeq++
+	t.flushes++
+	if len(t.files) >= t.cfg.CompactThreshold {
+		if err := t.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortCells(cells []Cell) {
+	sort.SliceStable(cells, func(i, j int) bool {
+		ki := cellKey(cells[i].Row, cells[i].Family, cells[i].Qualifier)
+		kj := cellKey(cells[j].Row, cells[j].Family, cells[j].Qualifier)
+		if ki != kj {
+			return ki < kj
+		}
+		return cells[i].Timestamp > cells[j].Timestamp
+	})
+}
+
+func (t *Table) persistStoreFile(cells []Cell) (*storeFile, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cells); err != nil {
+		return nil, fmt.Errorf("encode storefile: %w", err)
+	}
+	path := "/hbase/" + t.name + "/sf-" + strconv.Itoa(t.fileSeq)
+	t.fileSeq++
+	if err := t.fs.Write(path, buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("persist storefile: %w", err)
+	}
+	return &storeFile{path: path, cells: cells, size: buf.Len()}, nil
+}
+
+// Compact merges all store files into one, keeping only the newest version
+// of each cell and dropping tombstoned cells entirely.
+func (t *Table) Compact() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	return t.compactLocked()
+}
+
+func (t *Table) compactLocked() error {
+	if len(t.files) <= 1 {
+		return nil
+	}
+	newest := make(map[string]Cell)
+	// files is newest-first; iterate oldest-first so newer versions win.
+	for i := len(t.files) - 1; i >= 0; i-- {
+		for _, c := range t.files[i].cells {
+			key := cellKey(c.Row, c.Family, c.Qualifier)
+			if cur, ok := newest[key]; !ok || c.Timestamp > cur.Timestamp {
+				newest[key] = c
+			}
+		}
+	}
+	cells := make([]Cell, 0, len(newest))
+	for _, c := range newest {
+		if !c.Tombstone {
+			cells = append(cells, c)
+		}
+	}
+	sortCells(cells)
+	sf, err := t.persistStoreFile(cells)
+	if err != nil {
+		return fmt.Errorf("compact %s: %w", t.name, err)
+	}
+	for _, old := range t.files {
+		if err := t.fs.Delete(old.path); err != nil && !errors.Is(err, hdfs.ErrNotFound) {
+			return fmt.Errorf("compact cleanup: %w", err)
+		}
+	}
+	t.files = []*storeFile{sf}
+	t.compactions++
+	return nil
+}
+
+// Get returns the newest live value of a cell.
+func (t *Table) Get(row, family, qualifier string) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := t.families[family]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoFamily, family)
+	}
+	key := cellKey(row, family, qualifier)
+	if versions, ok := t.memstore[key]; ok && len(versions) > 0 {
+		c := versions[0]
+		if c.Tombstone {
+			return nil, fmt.Errorf("%w: %s/%s:%s", ErrNotFound, row, family, qualifier)
+		}
+		return append([]byte(nil), c.Value...), nil
+	}
+	for _, sf := range t.files {
+		if c, ok := findInStoreFile(sf, key); ok {
+			if c.Tombstone {
+				return nil, fmt.Errorf("%w: %s/%s:%s", ErrNotFound, row, family, qualifier)
+			}
+			return append([]byte(nil), c.Value...), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s/%s:%s", ErrNotFound, row, family, qualifier)
+}
+
+func findInStoreFile(sf *storeFile, key string) (Cell, bool) {
+	// Binary search for the first cell with this key (cells sorted by key,
+	// then newest-first).
+	i := sort.Search(len(sf.cells), func(i int) bool {
+		c := sf.cells[i]
+		return cellKey(c.Row, c.Family, c.Qualifier) >= key
+	})
+	if i < len(sf.cells) {
+		c := sf.cells[i]
+		if cellKey(c.Row, c.Family, c.Qualifier) == key {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// RowResult groups the live cells of one row.
+type RowResult struct {
+	Row   string
+	Cells []Cell
+}
+
+// Scan returns live rows with startRow <= row < endRow (endRow "" = no
+// bound), merging memstore and store files.
+func (t *Table) Scan(startRow, endRow string) ([]RowResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	newest := make(map[string]Cell)
+	consider := func(c Cell) {
+		if c.Row < startRow {
+			return
+		}
+		if endRow != "" && c.Row >= endRow {
+			return
+		}
+		key := cellKey(c.Row, c.Family, c.Qualifier)
+		if cur, ok := newest[key]; !ok || c.Timestamp > cur.Timestamp {
+			newest[key] = c
+		}
+	}
+	for _, sf := range t.files {
+		for _, c := range sf.cells {
+			consider(c)
+		}
+	}
+	for _, versions := range t.memstore {
+		for _, c := range versions {
+			consider(c)
+		}
+	}
+	rows := make(map[string][]Cell)
+	for _, c := range newest {
+		if c.Tombstone {
+			continue
+		}
+		rows[c.Row] = append(rows[c.Row], c)
+	}
+	out := make([]RowResult, 0, len(rows))
+	for row, cells := range rows {
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].Family != cells[j].Family {
+				return cells[i].Family < cells[j].Family
+			}
+			return cells[i].Qualifier < cells[j].Qualifier
+		})
+		out = append(out, RowResult{Row: row, Cells: cells})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Row < out[j].Row })
+	return out, nil
+}
+
+// ScanPrefix returns rows whose key starts with prefix.
+func (t *Table) ScanPrefix(prefix string) ([]RowResult, error) {
+	end := ""
+	if prefix != "" {
+		// Smallest string greater than every prefixed key.
+		b := []byte(prefix)
+		for i := len(b) - 1; i >= 0; i-- {
+			if b[i] < 0xff {
+				b[i]++
+				end = string(b[:i+1])
+				break
+			}
+		}
+	}
+	rows, err := t.Scan(prefix, end)
+	if err != nil {
+		return nil, err
+	}
+	out := rows[:0]
+	for _, r := range rows {
+		if strings.HasPrefix(r.Row, prefix) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Stats reports table internals.
+type Stats struct {
+	MemstoreCells int
+	StoreFiles    int
+	Flushes       int
+	Compactions   int
+	WALEntries    int
+}
+
+// Stats returns a snapshot of table internals.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		MemstoreCells: t.memCount,
+		StoreFiles:    len(t.files),
+		Flushes:       t.flushes,
+		Compactions:   t.compactions,
+		WALEntries:    len(t.wal),
+	}
+}
+
+// CrashAndRecover simulates a region-server crash: the memstore is dropped
+// and rebuilt by replaying the WAL, exactly as HBase recovers. It returns
+// the number of replayed cells.
+func (t *Table) CrashAndRecover() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, ErrClosed
+	}
+	wal := t.wal
+	t.memstore = make(map[string][]Cell)
+	t.memCount = 0
+	t.wal = nil
+	replayed := 0
+	for _, c := range wal {
+		t.wal = append(t.wal, c)
+		key := cellKey(c.Row, c.Family, c.Qualifier)
+		t.memstore[key] = append([]Cell{c}, t.memstore[key]...)
+		t.memCount++
+		replayed++
+	}
+	return replayed, nil
+}
+
+// Close flushes and marks the table unusable.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	t.closed = true
+	return nil
+}

@@ -1,0 +1,227 @@
+package hbase
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/hdfs"
+)
+
+// RegionedTable shards a logical table into row-key ranges ("regions"), each
+// backed by its own Table (memstore + WAL + store files). Regions split
+// automatically when they grow past a cell-count threshold, reproducing
+// HBase's horizontal scalability story: a hot table spreads across region
+// servers as it grows.
+type RegionedTable struct {
+	mu       sync.Mutex
+	name     string
+	families []string
+	cfg      Config
+	fs       *hdfs.Cluster
+	// SplitThreshold is the approximate live-cell count per region that
+	// triggers a split.
+	splitThreshold int
+
+	// boundaries[i] is the inclusive lower bound of region i+1; region 0
+	// starts at "". len(regions) == len(boundaries)+1.
+	boundaries []string
+	regions    []*Table
+	regionSeq  int
+	splits     int
+}
+
+// NewRegionedTable creates a single-region table that splits as it grows.
+func NewRegionedTable(name string, families []string, cfg Config, fs *hdfs.Cluster, splitThreshold int) (*RegionedTable, error) {
+	if splitThreshold < 4 {
+		splitThreshold = 4096
+	}
+	rt := &RegionedTable{
+		name: name, families: append([]string(nil), families...),
+		cfg: cfg, fs: fs, splitThreshold: splitThreshold,
+	}
+	first, err := rt.newRegion()
+	if err != nil {
+		return nil, err
+	}
+	rt.regions = []*Table{first}
+	return rt, nil
+}
+
+func (rt *RegionedTable) newRegion() (*Table, error) {
+	t, err := NewTable(fmt.Sprintf("%s-r%d", rt.name, rt.regionSeq), rt.families, rt.cfg, rt.fs)
+	rt.regionSeq++
+	return t, err
+}
+
+// regionFor returns the index of the region owning a row key.
+func (rt *RegionedTable) regionFor(row string) int {
+	// boundaries sorted ascending; find the last boundary <= row.
+	return sort.SearchStrings(rt.boundaries, row+"\x00")
+}
+
+// Put routes a write to the owning region and splits it if it grew too big.
+func (rt *RegionedTable) Put(row, family, qualifier string, value []byte) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	idx := rt.regionFor(row)
+	if err := rt.regions[idx].Put(row, family, qualifier, value); err != nil {
+		return err
+	}
+	return rt.maybeSplitLocked(idx)
+}
+
+// Delete routes a tombstone to the owning region.
+func (rt *RegionedTable) Delete(row, family, qualifier string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.regions[rt.regionFor(row)].Delete(row, family, qualifier)
+}
+
+// Get routes a read to the owning region.
+func (rt *RegionedTable) Get(row, family, qualifier string) ([]byte, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.regions[rt.regionFor(row)].Get(row, family, qualifier)
+}
+
+// Scan merges ordered results across all overlapping regions.
+func (rt *RegionedTable) Scan(startRow, endRow string) ([]RowResult, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []RowResult
+	for _, region := range rt.regions {
+		rows, err := region.Scan(startRow, endRow)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Row < out[j].Row })
+	return out, nil
+}
+
+// approximate live row-cell count for split decisions.
+func regionWeight(t *Table) int {
+	st := t.Stats()
+	// Memstore cells plus a storefile estimate via flush count is too
+	// coarse; scan-count live rows instead (simulation scale permits it).
+	rows, err := t.Scan("", "")
+	if err != nil {
+		return st.MemstoreCells
+	}
+	cells := 0
+	for _, r := range rows {
+		cells += len(r.Cells)
+	}
+	return cells
+}
+
+// maybeSplitLocked splits region idx at its median row key when it exceeds
+// the threshold.
+func (rt *RegionedTable) maybeSplitLocked(idx int) error {
+	region := rt.regions[idx]
+	if regionWeight(region) < rt.splitThreshold {
+		return nil
+	}
+	rows, err := region.Scan("", "")
+	if err != nil {
+		return fmt.Errorf("split scan: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil
+	}
+	mid := rows[len(rows)/2].Row
+	if mid == rows[0].Row {
+		return nil // all rows share one key; cannot split
+	}
+	left, err := rt.newRegion()
+	if err != nil {
+		return err
+	}
+	right, err := rt.newRegion()
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		dst := left
+		if r.Row >= mid {
+			dst = right
+		}
+		for _, c := range r.Cells {
+			if err := dst.Put(c.Row, c.Family, c.Qualifier, c.Value); err != nil {
+				return fmt.Errorf("split rewrite: %w", err)
+			}
+		}
+	}
+	if err := region.Close(); err != nil {
+		return fmt.Errorf("split close: %w", err)
+	}
+	// Replace region idx with left+right and insert the new boundary.
+	newRegions := make([]*Table, 0, len(rt.regions)+1)
+	newRegions = append(newRegions, rt.regions[:idx]...)
+	newRegions = append(newRegions, left, right)
+	newRegions = append(newRegions, rt.regions[idx+1:]...)
+	rt.regions = newRegions
+
+	newBounds := make([]string, 0, len(rt.boundaries)+1)
+	newBounds = append(newBounds, rt.boundaries[:idx]...)
+	newBounds = append(newBounds, mid)
+	newBounds = append(newBounds, rt.boundaries[idx:]...)
+	rt.boundaries = newBounds
+	rt.splits++
+	return nil
+}
+
+// RegionInfo describes one region for reporting.
+type RegionInfo struct {
+	StartKey string
+	Cells    int
+}
+
+// Regions returns per-region stats in key order.
+func (rt *RegionedTable) Regions() []RegionInfo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]RegionInfo, len(rt.regions))
+	for i, region := range rt.regions {
+		start := ""
+		if i > 0 {
+			start = rt.boundaries[i-1]
+		}
+		out[i] = RegionInfo{StartKey: start, Cells: regionWeight(region)}
+	}
+	return out
+}
+
+// NumRegions returns the current region count.
+func (rt *RegionedTable) NumRegions() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.regions)
+}
+
+// Splits returns how many splits have occurred.
+func (rt *RegionedTable) Splits() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.splits
+}
+
+// String renders the region layout for logs.
+func (rt *RegionedTable) String() string {
+	infos := rt.Regions()
+	s := rt.name + "["
+	for i, info := range infos {
+		if i > 0 {
+			s += " | "
+		}
+		key := info.StartKey
+		if key == "" {
+			key = "-∞"
+		}
+		s += key + ":" + strconv.Itoa(info.Cells)
+	}
+	return s + "]"
+}

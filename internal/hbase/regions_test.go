@@ -1,0 +1,141 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hdfs"
+)
+
+func newRegioned(t *testing.T, splitThreshold int) *RegionedTable {
+	t.Helper()
+	fs := hdfs.NewCluster(hdfs.Config{BlockSize: 4096, Replication: 2}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 3; i++ {
+		if err := fs.AddDataNode(fmt.Sprintf("dn-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, err := NewRegionedTable("annotations", []string{"f"}, Config{FlushThreshold: 64, CompactThreshold: 3}, fs, splitThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRegionedPutGetRoundTrip(t *testing.T) {
+	rt := newRegioned(t, 10000)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("row-%04d", i)
+		if err := rt.Put(key, "f", "v", []byte(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("row-%04d", i)
+		got, err := rt.Get(key, "f", "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != key {
+			t.Fatalf("get %s = %q", key, got)
+		}
+	}
+	if rt.NumRegions() != 1 {
+		t.Fatalf("regions = %d before threshold", rt.NumRegions())
+	}
+}
+
+func TestRegionSplitsUnderLoadAndStaysConsistent(t *testing.T) {
+	rt := newRegioned(t, 60)
+	const rows = 400
+	for i := 0; i < rows; i++ {
+		key := fmt.Sprintf("row-%04d", i)
+		if err := rt.Put(key, "f", "v", []byte(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.NumRegions() < 4 {
+		t.Fatalf("regions = %d, expected several splits: %s", rt.NumRegions(), rt)
+	}
+	if rt.Splits() == 0 {
+		t.Fatal("no splits recorded")
+	}
+	// Every row remains readable through the routing layer.
+	for i := 0; i < rows; i++ {
+		key := fmt.Sprintf("row-%04d", i)
+		got, err := rt.Get(key, "f", "v")
+		if err != nil {
+			t.Fatalf("get %s after splits: %v", key, err)
+		}
+		if string(got) != key {
+			t.Fatalf("get %s = %q", key, got)
+		}
+	}
+	// Global scans stay sorted and complete.
+	all, err := rt.Scan("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != rows {
+		t.Fatalf("scan = %d rows", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Row >= all[i].Row {
+			t.Fatal("merged scan out of order")
+		}
+	}
+	// Region boundaries partition the key space: cells sum to total.
+	total := 0
+	for _, info := range rt.Regions() {
+		total += info.Cells
+	}
+	if total != rows {
+		t.Fatalf("region cells sum = %d, want %d", total, rows)
+	}
+}
+
+func TestRegionedOverwritesAndDeletesAfterSplit(t *testing.T) {
+	rt := newRegioned(t, 40)
+	for i := 0; i < 200; i++ {
+		if err := rt.Put(fmt.Sprintf("k%03d", i), "f", "v", []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.NumRegions() < 2 {
+		t.Fatalf("regions = %d", rt.NumRegions())
+	}
+	if err := rt.Put("k050", "f", "v", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.Get("k050", "f", "v")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("overwrite = %q, %v", got, err)
+	}
+	if err := rt.Delete("k051", "f", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Get("k051", "f", "v"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted get err = %v", err)
+	}
+}
+
+func TestRegionedRangeScanAcrossBoundaries(t *testing.T) {
+	rt := newRegioned(t, 30)
+	for i := 0; i < 120; i++ {
+		if err := rt.Put(fmt.Sprintf("k%03d", i), "f", "v", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := rt.Scan("k050", "k070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("range scan = %d rows (%s)", len(rows), rt)
+	}
+	if rows[0].Row != "k050" || rows[19].Row != "k069" {
+		t.Fatalf("range bounds %s..%s", rows[0].Row, rows[19].Row)
+	}
+}

@@ -1,0 +1,400 @@
+// Package hdfs simulates a Hadoop-style distributed file system: a namenode
+// tracking file→block mappings, datanodes storing fixed-size block replicas,
+// and the replication machinery that keeps data available when datanodes
+// fail. It is the long-term storage substrate of the paper's software layer
+// ("HDFS provides reliability and availability by replicating data blocks
+// across multiple machines so, even though some machines may fail, we can
+// still access the data").
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound       = errors.New("hdfs: file not found")
+	ErrExists         = errors.New("hdfs: file already exists")
+	ErrNoDataNode     = errors.New("hdfs: datanode not found")
+	ErrNotEnoughNodes = errors.New("hdfs: not enough live datanodes for replication")
+	ErrDataLoss       = errors.New("hdfs: all replicas lost")
+	ErrNodeExists     = errors.New("hdfs: datanode already registered")
+)
+
+// Config sets cluster-wide parameters.
+type Config struct {
+	BlockSize   int // bytes per block
+	Replication int // replicas per block
+}
+
+// DefaultConfig mirrors HDFS defaults scaled down for simulation.
+func DefaultConfig() Config { return Config{BlockSize: 4096, Replication: 3} }
+
+// BlockID identifies a block cluster-wide.
+type BlockID int64
+
+type dataNode struct {
+	id     string
+	alive  bool
+	blocks map[BlockID][]byte
+}
+
+type blockMeta struct {
+	id       BlockID
+	length   int
+	replicas map[string]struct{} // datanode ids
+}
+
+type fileMeta struct {
+	path   string
+	blocks []BlockID
+	size   int
+}
+
+// Cluster is the simulated HDFS deployment. All methods are safe for
+// concurrent use.
+type Cluster struct {
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
+	nextBlock BlockID
+	nodes     map[string]*dataNode
+	files     map[string]*fileMeta
+	blocks    map[BlockID]*blockMeta
+}
+
+// NewCluster creates an empty cluster. rng drives replica placement
+// tie-breaking and must not be nil.
+func NewCluster(cfg Config, rng *rand.Rand) *Cluster {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultConfig().BlockSize
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = DefaultConfig().Replication
+	}
+	return &Cluster{
+		cfg:    cfg,
+		rng:    rng,
+		nodes:  make(map[string]*dataNode),
+		files:  make(map[string]*fileMeta),
+		blocks: make(map[BlockID]*blockMeta),
+	}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// AddDataNode registers a datanode.
+func (c *Cluster) AddDataNode(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrNodeExists, id)
+	}
+	c.nodes[id] = &dataNode{id: id, alive: true, blocks: make(map[BlockID][]byte)}
+	return nil
+}
+
+// liveNodes returns live datanodes sorted by ascending block count with
+// random tie-breaking, which is the placement order.
+func (c *Cluster) liveNodes() []*dataNode {
+	var ns []*dataNode
+	for _, n := range c.nodes {
+		if n.alive {
+			ns = append(ns, n)
+		}
+	}
+	c.rng.Shuffle(len(ns), func(i, j int) { ns[i], ns[j] = ns[j], ns[i] })
+	sort.SliceStable(ns, func(i, j int) bool { return len(ns[i].blocks) < len(ns[j].blocks) })
+	return ns
+}
+
+// Write creates a file from data, splitting it into blocks and placing
+// Replication replicas of each block on distinct live datanodes.
+func (c *Cluster) Write(path string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.files[path]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	nBlocks := (len(data) + c.cfg.BlockSize - 1) / c.cfg.BlockSize
+	if nBlocks == 0 {
+		nBlocks = 1 // empty file still gets one empty block for uniformity
+	}
+	f := &fileMeta{path: path, size: len(data)}
+	for i := 0; i < nBlocks; i++ {
+		lo := i * c.cfg.BlockSize
+		hi := lo + c.cfg.BlockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		var chunk []byte
+		if lo < len(data) {
+			chunk = data[lo:hi]
+		}
+		bid, err := c.placeBlock(chunk)
+		if err != nil {
+			// Roll back already-placed blocks of this file.
+			for _, b := range f.blocks {
+				c.dropBlock(b)
+			}
+			return fmt.Errorf("write %s block %d: %w", path, i, err)
+		}
+		f.blocks = append(f.blocks, bid)
+	}
+	c.files[path] = f
+	return nil
+}
+
+func (c *Cluster) placeBlock(chunk []byte) (BlockID, error) {
+	targets := c.liveNodes()
+	if len(targets) < c.cfg.Replication {
+		return 0, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughNodes, len(targets), c.cfg.Replication)
+	}
+	bid := c.nextBlock
+	c.nextBlock++
+	meta := &blockMeta{id: bid, length: len(chunk), replicas: make(map[string]struct{}, c.cfg.Replication)}
+	for i := 0; i < c.cfg.Replication; i++ {
+		n := targets[i]
+		buf := make([]byte, len(chunk))
+		copy(buf, chunk)
+		n.blocks[bid] = buf
+		meta.replicas[n.id] = struct{}{}
+	}
+	c.blocks[bid] = meta
+	return bid, nil
+}
+
+func (c *Cluster) dropBlock(bid BlockID) {
+	meta, ok := c.blocks[bid]
+	if !ok {
+		return
+	}
+	for nid := range meta.replicas {
+		if n, ok := c.nodes[nid]; ok {
+			delete(n.blocks, bid)
+		}
+	}
+	delete(c.blocks, bid)
+}
+
+// Read reassembles a file from any live replica of each block.
+func (c *Cluster) Read(path string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	out := make([]byte, 0, f.size)
+	for i, bid := range f.blocks {
+		meta := c.blocks[bid]
+		var chunk []byte
+		found := false
+		for nid := range meta.replicas {
+			n := c.nodes[nid]
+			if n != nil && n.alive {
+				chunk = n.blocks[bid]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: %s block %d", ErrDataLoss, path, i)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// Delete removes a file and all its block replicas.
+func (c *Cluster) Delete(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	for _, bid := range f.blocks {
+		c.dropBlock(bid)
+	}
+	delete(c.files, path)
+	return nil
+}
+
+// Exists reports whether the path is a file in the namespace.
+func (c *Cluster) Exists(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.files[path]
+	return ok
+}
+
+// List returns all file paths, sorted.
+func (c *Cluster) List() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.files))
+	for p := range c.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FileInfo describes one file.
+type FileInfo struct {
+	Path   string
+	Size   int
+	Blocks int
+}
+
+// Stat returns file metadata.
+func (c *Cluster) Stat(path string) (FileInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return FileInfo{Path: path, Size: f.size, Blocks: len(f.blocks)}, nil
+}
+
+// FailDataNode marks a node dead; its replicas become unavailable until
+// ReplicateMissing restores them elsewhere.
+func (c *Cluster) FailDataNode(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDataNode, id)
+	}
+	n.alive = false
+	for bid := range n.blocks {
+		delete(c.blocks[bid].replicas, id)
+	}
+	n.blocks = make(map[BlockID][]byte)
+	return nil
+}
+
+// ReviveDataNode brings a previously failed node back (empty, as if
+// re-imaged); the namenode treats it as a fresh placement target.
+func (c *Cluster) ReviveDataNode(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDataNode, id)
+	}
+	n.alive = true
+	return nil
+}
+
+// UnderReplicated returns the number of blocks with fewer live replicas than
+// the configured replication factor, and how many have zero live replicas.
+func (c *Cluster) UnderReplicated() (under, lost int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, meta := range c.blocks {
+		live := len(meta.replicas)
+		if live == 0 {
+			lost++
+		}
+		if live < c.cfg.Replication {
+			under++
+		}
+	}
+	return under, lost
+}
+
+// ReplicateMissing copies under-replicated blocks to additional live
+// datanodes until every block reaches the replication factor (or no more
+// targets exist). It returns the number of new replicas created.
+func (c *Cluster) ReplicateMissing() (created int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []BlockID
+	for bid := range c.blocks {
+		ids = append(ids, bid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, bid := range ids {
+		meta := c.blocks[bid]
+		if len(meta.replicas) == 0 {
+			return created, fmt.Errorf("%w: block %d", ErrDataLoss, bid)
+		}
+		for len(meta.replicas) < c.cfg.Replication {
+			// Source: any live replica holder.
+			var src *dataNode
+			for nid := range meta.replicas {
+				if n := c.nodes[nid]; n != nil && n.alive {
+					src = n
+					break
+				}
+			}
+			if src == nil {
+				return created, fmt.Errorf("%w: block %d has no live source", ErrDataLoss, bid)
+			}
+			// Target: least-loaded live node without this block.
+			var target *dataNode
+			for _, n := range c.liveNodes() {
+				if _, has := meta.replicas[n.id]; !has {
+					target = n
+					break
+				}
+			}
+			if target == nil {
+				// Cluster too small to restore full replication; stop trying
+				// for this block (it stays under-replicated but available).
+				break
+			}
+			buf := make([]byte, len(src.blocks[bid]))
+			copy(buf, src.blocks[bid])
+			target.blocks[bid] = buf
+			meta.replicas[target.id] = struct{}{}
+			created++
+		}
+	}
+	return created, nil
+}
+
+// Report summarizes cluster state.
+type Report struct {
+	Files           int
+	Blocks          int
+	LiveNodes       int
+	DeadNodes       int
+	UnderReplicated int
+	LostBlocks      int
+	StoredBytes     int
+}
+
+// Status returns a consistent snapshot of cluster health.
+func (c *Cluster) Status() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{Files: len(c.files), Blocks: len(c.blocks)}
+	for _, n := range c.nodes {
+		if n.alive {
+			r.LiveNodes++
+		} else {
+			r.DeadNodes++
+		}
+		for _, b := range n.blocks {
+			r.StoredBytes += len(b)
+		}
+	}
+	for _, meta := range c.blocks {
+		if len(meta.replicas) == 0 {
+			r.LostBlocks++
+		}
+		if len(meta.replicas) < c.cfg.Replication {
+			r.UnderReplicated++
+		}
+	}
+	return r
+}

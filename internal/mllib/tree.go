@@ -1,0 +1,230 @@
+package mllib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TreeConfig tunes decision-tree induction.
+type TreeConfig struct {
+	MaxDepth    int
+	MinLeafSize int
+}
+
+// DefaultTreeConfig returns sane CART defaults for tabular city data.
+func DefaultTreeConfig() TreeConfig { return TreeConfig{MaxDepth: 6, MinLeafSize: 4} }
+
+// TreeModel is a fitted CART-style binary decision tree classifier, the
+// remaining member of the software layer's "traditional machine learning
+// and data mining" toolbox.
+type TreeModel struct {
+	root    *treeNode
+	classes int
+	// Nodes counts the tree's internal + leaf nodes (complexity report).
+	Nodes int
+	Depth int
+}
+
+type treeNode struct {
+	// Leaf fields.
+	leaf  bool
+	class int
+	// Split fields.
+	feature     int
+	threshold   float64
+	left, right *treeNode
+}
+
+// giniImpurity of a label multiset.
+func giniImpurity(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func majority(counts []int) int {
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// DecisionTree fits a CART classifier on labeled points by exhaustive
+// threshold search with Gini impurity.
+func DecisionTree(points []LabeledPoint, classes int, cfg TreeConfig) (*TreeModel, error) {
+	if len(points) == 0 {
+		return nil, ErrNoData
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("%w: %d classes", ErrBadK, classes)
+	}
+	dim := len(points[0].Features)
+	for _, p := range points {
+		if len(p.Features) != dim {
+			return nil, fmt.Errorf("%w: inconsistent feature widths", ErrBadDimension)
+		}
+		if p.Label < 0 || p.Label >= classes {
+			return nil, fmt.Errorf("%w: label %d", ErrBadDimension, p.Label)
+		}
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = DefaultTreeConfig().MaxDepth
+	}
+	if cfg.MinLeafSize <= 0 {
+		cfg.MinLeafSize = DefaultTreeConfig().MinLeafSize
+	}
+	m := &TreeModel{classes: classes}
+	m.root = m.build(points, cfg, 1)
+	return m, nil
+}
+
+func (m *TreeModel) build(points []LabeledPoint, cfg TreeConfig, depth int) *treeNode {
+	m.Nodes++
+	if depth > m.Depth {
+		m.Depth = depth
+	}
+	counts := make([]int, m.classes)
+	for _, p := range points {
+		counts[p.Label]++
+	}
+	node := &treeNode{leaf: true, class: majority(counts)}
+	if depth >= cfg.MaxDepth || len(points) < 2*cfg.MinLeafSize || giniImpurity(counts, len(points)) == 0 {
+		return node
+	}
+	dim := len(points[0].Features)
+	bestGain := 0.0
+	bestFeature, bestThreshold := -1, 0.0
+	parentImpurity := giniImpurity(counts, len(points))
+	for f := 0; f < dim; f++ {
+		// Candidate thresholds: midpoints between sorted distinct values.
+		vals := make([]float64, len(points))
+		for i, p := range points {
+			vals[i] = p.Features[f]
+		}
+		sort.Float64s(vals)
+		for i := 1; i < len(vals); i++ {
+			if vals[i] == vals[i-1] {
+				continue
+			}
+			th := (vals[i] + vals[i-1]) / 2
+			lc := make([]int, m.classes)
+			rc := make([]int, m.classes)
+			ln, rn := 0, 0
+			for _, p := range points {
+				if p.Features[f] < th {
+					lc[p.Label]++
+					ln++
+				} else {
+					rc[p.Label]++
+					rn++
+				}
+			}
+			if ln < cfg.MinLeafSize || rn < cfg.MinLeafSize {
+				continue
+			}
+			gain := parentImpurity -
+				(float64(ln)*giniImpurity(lc, ln)+float64(rn)*giniImpurity(rc, rn))/float64(len(points))
+			if gain > bestGain+1e-12 {
+				bestGain, bestFeature, bestThreshold = gain, f, th
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+	var left, right []LabeledPoint
+	for _, p := range points {
+		if p.Features[bestFeature] < bestThreshold {
+			left = append(left, p)
+		} else {
+			right = append(right, p)
+		}
+	}
+	node.leaf = false
+	node.feature = bestFeature
+	node.threshold = bestThreshold
+	node.left = m.build(left, cfg, depth+1)
+	node.right = m.build(right, cfg, depth+1)
+	return node
+}
+
+// Predict classifies one feature vector.
+func (m *TreeModel) Predict(x Vector) int {
+	n := m.root
+	for !n.leaf {
+		if int(n.feature) < len(x) && x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Accuracy evaluates the tree on labeled points.
+func (m *TreeModel) Accuracy(points []LabeledPoint) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, p := range points {
+		if m.Predict(p.Features) == p.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(points))
+}
+
+// FeatureImportance counts, per feature, the impurity-weighted number of
+// splits using it (a rough importance signal for reports).
+func (m *TreeModel) FeatureImportance(dim int) []float64 {
+	out := make([]float64, dim)
+	var walk func(n *treeNode, weight float64)
+	walk = func(n *treeNode, weight float64) {
+		if n == nil || n.leaf {
+			return
+		}
+		if n.feature < dim {
+			out[n.feature] += weight
+		}
+		walk(n.left, weight/2)
+		walk(n.right, weight/2)
+	}
+	walk(m.root, 1)
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// entropyOf is kept for symmetry with other impurity measures in tests.
+func entropyOf(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}

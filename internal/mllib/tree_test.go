@@ -1,0 +1,116 @@
+package mllib
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDecisionTreeValidation(t *testing.T) {
+	if _, err := DecisionTree(nil, 2, DefaultTreeConfig()); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty err = %v", err)
+	}
+	pts := []LabeledPoint{{Features: Vector{1}, Label: 0}}
+	if _, err := DecisionTree(pts, 1, DefaultTreeConfig()); !errors.Is(err, ErrBadK) {
+		t.Fatalf("classes err = %v", err)
+	}
+	bad := []LabeledPoint{{Features: Vector{1}, Label: 5}}
+	if _, err := DecisionTree(bad, 2, DefaultTreeConfig()); !errors.Is(err, ErrBadDimension) {
+		t.Fatalf("label err = %v", err)
+	}
+	mixed := []LabeledPoint{{Features: Vector{1}, Label: 0}, {Features: Vector{1, 2}, Label: 1}}
+	if _, err := DecisionTree(mixed, 2, DefaultTreeConfig()); !errors.Is(err, ErrBadDimension) {
+		t.Fatalf("width err = %v", err)
+	}
+}
+
+func TestDecisionTreeAxisAlignedSplit(t *testing.T) {
+	// Perfectly separable on feature 1 at threshold 0.5.
+	var pts []LabeledPoint
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		x := Vector{rng.Float64(), rng.Float64()}
+		label := 0
+		if x[1] > 0.5 {
+			label = 1
+		}
+		pts = append(pts, LabeledPoint{Features: x, Label: label})
+	}
+	m, err := DecisionTree(pts, 2, TreeConfig{MaxDepth: 3, MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(pts); acc < 0.98 {
+		t.Fatalf("separable accuracy = %g", acc)
+	}
+	// The discriminative feature dominates importance.
+	imp := m.FeatureImportance(2)
+	if imp[1] <= imp[0] {
+		t.Fatalf("importance = %v, feature 1 should dominate", imp)
+	}
+}
+
+func TestDecisionTreeLearnsXOR(t *testing.T) {
+	// XOR needs depth ≥ 2 — linear models fail here; the tree must not.
+	var pts []LabeledPoint
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := Vector{rng.Float64(), rng.Float64()}
+		label := 0
+		if (x[0] > 0.5) != (x[1] > 0.5) {
+			label = 1
+		}
+		pts = append(pts, LabeledPoint{Features: x, Label: label})
+	}
+	m, err := DecisionTree(pts, 2, TreeConfig{MaxDepth: 4, MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(pts); acc < 0.9 {
+		t.Fatalf("XOR accuracy = %g", acc)
+	}
+	if m.Depth < 3 {
+		t.Fatalf("depth = %d, XOR needs nested splits", m.Depth)
+	}
+}
+
+func TestDecisionTreeRespectsDepthAndLeafLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts []LabeledPoint
+	for i := 0; i < 300; i++ {
+		pts = append(pts, LabeledPoint{
+			Features: Vector{rng.Float64(), rng.Float64(), rng.Float64()},
+			Label:    rng.Intn(3),
+		})
+	}
+	m, err := DecisionTree(pts, 3, TreeConfig{MaxDepth: 3, MinLeafSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth > 3 {
+		t.Fatalf("depth = %d exceeds limit", m.Depth)
+	}
+	// Random labels: accuracy should stay modest but above chance on train.
+	if acc := m.Accuracy(pts); acc < 0.3 {
+		t.Fatalf("train accuracy = %g below chance", acc)
+	}
+}
+
+func TestImpurityHelpers(t *testing.T) {
+	if g := giniImpurity([]int{10, 0}, 10); g != 0 {
+		t.Fatalf("pure gini = %g", g)
+	}
+	if g := giniImpurity([]int{5, 5}, 10); math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("even gini = %g", g)
+	}
+	if h := entropyOf([]int{5, 5}, 10); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("even entropy = %g", h)
+	}
+	if h := entropyOf([]int{10, 0}, 10); h != 0 {
+		t.Fatalf("pure entropy = %g", h)
+	}
+	if g := giniImpurity(nil, 0); g != 0 {
+		t.Fatalf("empty gini = %g", g)
+	}
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func testInceptionConfig() InceptionConfig {
+	return InceptionConfig{InC: 2, Out1x1: 2, Out3x3: 3, Out5x5: 2, OutPool: 2, Reduce3x3: 2, Reduce5x5: 2}
+}
+
+func TestInceptionConfigValidation(t *testing.T) {
+	if _, err := NewInceptionBlock(InceptionConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v", err)
+	}
+	cfg := testInceptionConfig()
+	if cfg.OutChannels() != 9 {
+		t.Fatalf("out channels = %d", cfg.OutChannels())
+	}
+}
+
+func TestInceptionForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ib, err := NewInceptionBlock(testInceptionConfig(), WithRand(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 3, 2, 8, 8)
+	y, err := ib.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != 3 || y.Dim(1) != 9 || y.Dim(2) != 8 || y.Dim(3) != 8 {
+		t.Fatalf("out shape %v", y.Shape())
+	}
+	if _, err := ib.Forward(tensor.New(2, 3), false); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("rank err = %v", err)
+	}
+}
+
+func TestInceptionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ib, err := NewInceptionBlock(testInceptionConfig(), WithRand(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 2, 2, 5, 5)
+	checkLayerGradients(t, ib, x, 1e-5)
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := tensor.Randn(rng, 1, 2, 3, 4, 4)
+	b := tensor.Randn(rng, 1, 2, 2, 4, 4)
+	joined, err := concatChannels([]*tensor.Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Dim(1) != 5 {
+		t.Fatalf("joined channels = %d", joined.Dim(1))
+	}
+	parts, err := splitChannels(joined, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(parts[0], a, 0) || !tensor.AllClose(parts[1], b, 0) {
+		t.Fatal("concat/split round trip corrupted data")
+	}
+	if _, err := splitChannels(joined, []int{4, 4}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad split err = %v", err)
+	}
+	if _, err := concatChannels(nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty concat err = %v", err)
+	}
+	if _, err := concatChannels([]*tensor.Tensor{a, tensor.New(2, 2, 5, 5)}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("mismatched concat err = %v", err)
+	}
+}
+
+func TestInceptionLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ib, err := NewInceptionBlock(InceptionConfig{InC: 1, Out1x1: 2, Out3x3: 2, Out5x5: 2, OutPool: 2, Reduce3x3: 2, Reduce5x5: 2}, WithRand(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewSequential(
+		ib,
+		NewGlobalAvgPool(),
+		NewDense(8, 2, WithRand(rng)),
+	)
+	// Task: wide bright blob vs narrow bright blob (scale detection — what
+	// multi-kernel-size branches are for).
+	const n, size = 40, 8
+	x := tensor.New(n, 1, size, size)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := 1
+		if i%2 == 1 {
+			labels[i] = 1
+			r = 3
+		}
+		cy, cx := 4, 4
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				y, xx := cy+dy, cx+dx
+				if y >= 0 && y < size && xx >= 0 && xx < size {
+					x.Set(1, i, 0, y, xx)
+				}
+			}
+		}
+	}
+	clf := NewClassifier(net)
+	opt := NewAdam(0.02)
+	for e := 0; e < 40; e++ {
+		if _, _, err := clf.TrainEpoch(x, labels, 20, opt, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, err := clf.Evaluate(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("inception scale-detection accuracy = %g", acc)
+	}
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients and then
+// clears the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one SGD update to each parameter and zeroes its gradient.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if s.WeightDecay > 0 {
+			_ = g.AxpyInPlace(s.WeightDecay, p.Value)
+		}
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape()...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum)
+			_ = v.AddInPlace(g)
+			g = v
+		}
+		_ = p.Value.AxpyInPlace(-s.LR, g)
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam creates an Adam optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one Adam update to each parameter and zeroes its gradient.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if a.WeightDecay > 0 {
+			_ = p.Grad.AxpyInPlace(a.WeightDecay, p.Value)
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			a.v[p] = v
+		}
+		md, vd, gd, pd := m.Data(), v.Data(), p.Grad.Data(), p.Value.Data()
+		for i := range gd {
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*gd[i]
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*gd[i]*gd[i]
+			mhat := md[i] / bc1
+			vhat := vd[i] / bc2
+			pd[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients in params so their global L2 norm does
+// not exceed maxNorm, returning the pre-clip norm. It is a no-op when the
+// norm is already within bounds or maxNorm <= 0.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, v := range p.Grad.Data() {
+			total += v * v
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		p.Grad.Scale(scale)
+	}
+	return norm
+}

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Reshape reinterprets each batch element's trailing dimensions as a fixed
+// new shape (the batch dimension passes through). It lets a flattened
+// feature vector be viewed as a spatial map again — e.g. the action
+// recognizer's server tail un-flattens the shipped per-frame features back
+// into [C, H, W] before running the remaining ResNet blocks.
+type Reshape struct {
+	target    []int // per-element shape
+	lastShape []int
+}
+
+var _ Layer = (*Reshape)(nil)
+
+// NewReshape creates a Reshape to the given per-element dimensions.
+func NewReshape(dims ...int) *Reshape {
+	return &Reshape{target: append([]int(nil), dims...)}
+}
+
+// Forward reshapes [N, ...] to [N, target...].
+func (r *Reshape) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Dims() < 1 {
+		return nil, fmt.Errorf("%w: reshape input %v", ErrBadInput, x.Shape())
+	}
+	r.lastShape = x.Shape()
+	out, err := x.Reshape(append([]int{x.Dim(0)}, r.target...)...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reshape %v to per-element %v", ErrBadInput, x.Shape(), r.target)
+	}
+	return out, nil
+}
+
+// Backward restores the cached input shape.
+func (r *Reshape) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if r.lastShape == nil {
+		return nil, ErrNotBuilt
+	}
+	out, err := grad.Reshape(r.lastShape...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reshape grad %v to %v", ErrBadInput, grad.Shape(), r.lastShape)
+	}
+	return out, nil
+}
+
+// Params returns nil: Reshape has no parameters.
+func (r *Reshape) Params() []*Param { return nil }

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ErrBadCheckpoint is returned when a checkpoint does not match the model.
+var ErrBadCheckpoint = errors.New("nn: checkpoint does not match model")
+
+// checkpointEntry is the serialized form of one parameter.
+type checkpointEntry struct {
+	Name  string
+	Shape []int
+	Data  []float64
+}
+
+// SaveParams serializes parameter values (not gradients) to bytes. It is
+// how trained models move between tiers in the deployment story: train on
+// the analysis server, ship the tiny head's weights to fog nodes.
+func SaveParams(params []*Param) ([]byte, error) {
+	entries := make([]checkpointEntry, len(params))
+	for i, p := range params {
+		data := make([]float64, p.Value.Size())
+		copy(data, p.Value.Data())
+		entries[i] = checkpointEntry{Name: p.Name, Shape: p.Value.Shape(), Data: data}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, fmt.Errorf("encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadParams restores parameter values from a SaveParams checkpoint into an
+// architecturally identical model. Names and shapes must match exactly, in
+// order.
+func LoadParams(params []*Param, checkpoint []byte) error {
+	var entries []checkpointEntry
+	if err := gob.NewDecoder(bytes.NewReader(checkpoint)).Decode(&entries); err != nil {
+		return fmt.Errorf("decode checkpoint: %w", err)
+	}
+	if len(entries) != len(params) {
+		return fmt.Errorf("%w: %d entries for %d params", ErrBadCheckpoint, len(entries), len(params))
+	}
+	for i, e := range entries {
+		p := params[i]
+		if e.Name != p.Name {
+			return fmt.Errorf("%w: entry %d is %q, model has %q", ErrBadCheckpoint, i, e.Name, p.Name)
+		}
+		t, err := tensor.FromSlice(e.Data, e.Shape...)
+		if err != nil {
+			return fmt.Errorf("%w: entry %q: %v", ErrBadCheckpoint, e.Name, err)
+		}
+		if err := p.Value.CopyFrom(t); err != nil {
+			return fmt.Errorf("%w: entry %q shape %v vs %v", ErrBadCheckpoint, e.Name, e.Shape, p.Value.Shape())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewSequential(
+		NewDense(4, 8, WithRand(rng)),
+		NewTanh(),
+		NewDense(8, 3, WithRand(rng)),
+	)
+	x := tensor.Randn(rng, 1, 5, 4)
+	want, err := src.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := SaveParams(src.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSequential(
+		NewDense(4, 8, WithRand(rand.New(rand.NewSource(999)))),
+		NewTanh(),
+		NewDense(8, 3, WithRand(rand.New(rand.NewSource(999)))),
+	)
+	if err := LoadParams(dst.Params(), blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(want, got, 0) {
+		t.Fatal("loaded model produces different outputs")
+	}
+}
+
+func TestLoadParamsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewDense(4, 8, WithRand(rng))
+	blob, err := SaveParams(a.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different width: shape mismatch.
+	b := NewDense(4, 9, WithRand(rng))
+	if err := LoadParams(b.Params(), blob); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("shape mismatch err = %v", err)
+	}
+	// Different parameter count.
+	c := NewSequential(NewDense(4, 8, WithRand(rng)), NewDense(8, 2, WithRand(rng)))
+	if err := LoadParams(c.Params(), blob); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("count mismatch err = %v", err)
+	}
+	// Garbage blob.
+	if err := LoadParams(a.Params(), []byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage blob should error")
+	}
+}
+
+func TestCheckpointMovesLSTMAndConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	build := func(seed int64) *Sequential {
+		r := rand.New(rand.NewSource(seed))
+		return NewSequential(
+			NewTimeDistributed(NewSequential(
+				NewConv2D(ConvConfig{InC: 1, OutC: 2, Kernel: 3, Pad: 1}, WithRand(r)),
+				NewGlobalAvgPool(),
+			)),
+			NewLSTM(2, 4, WithRand(r)),
+			NewLastStep(),
+			NewDense(4, 2, WithRand(r)),
+		)
+	}
+	src := build(1)
+	dst := build(2)
+	blob, err := SaveParams(src.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(dst.Params(), blob); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 2, 3, 1, 4, 4)
+	a, err := src.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dst.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(a, b, 0) {
+		t.Fatal("conv+lstm checkpoint round trip diverged")
+	}
+}

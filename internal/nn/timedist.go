@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// TimeDistributed applies an inner layer independently to every timestep of
+// a sequence batch: input [N, T, ...] is processed as [N*T, ...] and the
+// output is re-split into [N, T, ...]. It is the glue between the per-frame
+// CNN module and the LSTM module in the paper's action-recognition
+// architecture (Fig. 7: "at each time step t, the CNN module processes the
+// frame ... the sequence of the CNN's outputs along time serves as input to
+// the RNN module").
+type TimeDistributed struct {
+	inner Layer
+	lastN int
+	lastT int
+}
+
+var _ Layer = (*TimeDistributed)(nil)
+
+// NewTimeDistributed wraps inner.
+func NewTimeDistributed(inner Layer) *TimeDistributed {
+	return &TimeDistributed{inner: inner}
+}
+
+// Forward folds time into the batch dimension, applies the inner layer, and
+// unfolds.
+func (td *TimeDistributed) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Dims() < 3 {
+		return nil, fmt.Errorf("%w: timedistributed input %v", ErrBadInput, x.Shape())
+	}
+	shape := x.Shape()
+	n, t := shape[0], shape[1]
+	td.lastN, td.lastT = n, t
+	folded, err := x.Reshape(append([]int{n * t}, shape[2:]...)...)
+	if err != nil {
+		return nil, err
+	}
+	y, err := td.inner.Forward(folded, train)
+	if err != nil {
+		return nil, fmt.Errorf("timedistributed inner: %w", err)
+	}
+	yShape := y.Shape()
+	return y.Reshape(append([]int{n, t}, yShape[1:]...)...)
+}
+
+// Backward folds the gradient, backpropagates through the inner layer, and
+// unfolds the input gradient.
+func (td *TimeDistributed) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if td.lastN == 0 {
+		return nil, ErrNotBuilt
+	}
+	gs := grad.Shape()
+	if grad.Dims() < 3 || gs[0] != td.lastN || gs[1] != td.lastT {
+		return nil, fmt.Errorf("%w: timedistributed grad %v", ErrBadInput, gs)
+	}
+	folded, err := grad.Reshape(append([]int{td.lastN * td.lastT}, gs[2:]...)...)
+	if err != nil {
+		return nil, err
+	}
+	dx, err := td.inner.Backward(folded)
+	if err != nil {
+		return nil, fmt.Errorf("timedistributed inner back: %w", err)
+	}
+	ds := dx.Shape()
+	return dx.Reshape(append([]int{td.lastN, td.lastT}, ds[1:]...)...)
+}
+
+// Params returns the inner layer's parameters.
+func (td *TimeDistributed) Params() []*Param { return td.inner.Params() }

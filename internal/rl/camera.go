@@ -1,0 +1,173 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Camera actions.
+const (
+	// ActStay holds the current aim.
+	ActStay = iota
+	// ActLeft pans left.
+	ActLeft
+	// ActRight pans right.
+	ActRight
+	// ActUp pans up.
+	ActUp
+	// ActDown pans down.
+	ActDown
+	// ActZoomIn narrows the field of view for detail.
+	ActZoomIn
+	// ActZoomOut widens the field of view for coverage.
+	ActZoomOut
+	numCameraActions
+)
+
+// CameraEnv is the smart-camera control task: a PTZ camera watches a
+// Size×Size scene in which an incident (crime or traffic event) drifts
+// around. The camera earns reward for keeping the incident in its field of
+// view — more when zoomed in on it (detail for evidence), less when merely
+// covering it wide — and pays a small cost for motion. The observation is
+// [aimX, aimY, zoom, incidentX, incidentY], all normalized, mimicking a
+// detector that reports an approximate incident location.
+type CameraEnv struct {
+	Size int
+	// IncidentSpeed is the per-step drift magnitude in cells.
+	IncidentSpeed float64
+	// NoiseStd perturbs the observed incident position (detector noise).
+	NoiseStd float64
+
+	camX, camY int
+	zoomed     bool
+	incX, incY float64
+	steps      int
+	maxSteps   int
+}
+
+var _ Environment = (*CameraEnv)(nil)
+
+// NewCameraEnv creates the environment. Size must be at least 4.
+func NewCameraEnv(size, maxSteps int) (*CameraEnv, error) {
+	if size < 4 || maxSteps < 1 {
+		return nil, fmt.Errorf("%w: size %d maxSteps %d", ErrBadConfig, size, maxSteps)
+	}
+	return &CameraEnv{Size: size, IncidentSpeed: 0.7, NoiseStd: 0.2, maxSteps: maxSteps}, nil
+}
+
+// NumActions returns the camera action count.
+func (e *CameraEnv) NumActions() int { return numCameraActions }
+
+// StateDim returns the observation width.
+func (e *CameraEnv) StateDim() int { return 5 }
+
+// Reset places the camera at the center and the incident at a random cell.
+func (e *CameraEnv) Reset(rng *rand.Rand) State {
+	e.camX, e.camY = e.Size/2, e.Size/2
+	e.zoomed = false
+	e.incX = rng.Float64() * float64(e.Size-1)
+	e.incY = rng.Float64() * float64(e.Size-1)
+	e.steps = 0
+	return e.observe(rng)
+}
+
+func (e *CameraEnv) observe(rng *rand.Rand) State {
+	n := float64(e.Size - 1)
+	zoom := 0.0
+	if e.zoomed {
+		zoom = 1
+	}
+	return State{
+		float64(e.camX) / n,
+		float64(e.camY) / n,
+		zoom,
+		clamp01((e.incX + e.NoiseStd*rng.NormFloat64()) / n),
+		clamp01((e.incY + e.NoiseStd*rng.NormFloat64()) / n),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// fovRadius is the camera's half-width of coverage: wide = 2 cells, zoomed
+// = 1 cell.
+func (e *CameraEnv) fovRadius() float64 {
+	if e.zoomed {
+		return 1
+	}
+	return 2
+}
+
+// InFOV reports whether the incident is currently covered.
+func (e *CameraEnv) InFOV() bool {
+	r := e.fovRadius()
+	return math.Abs(e.incX-float64(e.camX)) <= r && math.Abs(e.incY-float64(e.camY)) <= r
+}
+
+// Step applies an action and advances the incident's drift.
+func (e *CameraEnv) Step(action int, rng *rand.Rand) (State, float64, bool) {
+	moved := false
+	switch action {
+	case ActLeft:
+		if e.camX > 0 {
+			e.camX--
+		}
+		moved = true
+	case ActRight:
+		if e.camX < e.Size-1 {
+			e.camX++
+		}
+		moved = true
+	case ActUp:
+		if e.camY > 0 {
+			e.camY--
+		}
+		moved = true
+	case ActDown:
+		if e.camY < e.Size-1 {
+			e.camY++
+		}
+		moved = true
+	case ActZoomIn:
+		e.zoomed = true
+	case ActZoomOut:
+		e.zoomed = false
+	}
+	// Incident drifts.
+	e.incX = clampf(e.incX+e.IncidentSpeed*rng.NormFloat64(), 0, float64(e.Size-1))
+	e.incY = clampf(e.incY+e.IncidentSpeed*rng.NormFloat64(), 0, float64(e.Size-1))
+
+	reward := 0.0
+	if e.InFOV() {
+		if e.zoomed {
+			reward = 2 // close-up: evidence-grade footage
+		} else {
+			reward = 1 // wide coverage
+		}
+	} else if e.zoomed {
+		reward = -0.5 // zoomed at nothing: worst case
+	}
+	if moved {
+		reward -= 0.05
+	}
+	e.steps++
+	return e.observe(rng), reward, e.steps >= e.maxSteps
+}
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,189 @@
+package rl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestCameraEnvBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	env, err := NewCameraEnv(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.NumActions() != 7 || env.StateDim() != 5 {
+		t.Fatalf("env dims: %d actions, %d state", env.NumActions(), env.StateDim())
+	}
+	s := env.Reset(rng)
+	if len(s) != 5 {
+		t.Fatalf("state = %v", s)
+	}
+	for _, v := range s {
+		if v < 0 || v > 1 {
+			t.Fatalf("unnormalized state %v", s)
+		}
+	}
+	done := false
+	steps := 0
+	for !done {
+		_, _, done = env.Step(ActStay, rng)
+		steps++
+		if steps > 20 {
+			t.Fatal("episode did not terminate")
+		}
+	}
+	if steps != 10 {
+		t.Fatalf("episode length = %d", steps)
+	}
+}
+
+func TestCameraEnvValidation(t *testing.T) {
+	if _, err := NewCameraEnv(2, 10); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewCameraEnv(8, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCameraPanningMovesAim(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	env, _ := NewCameraEnv(8, 100)
+	s0 := env.Reset(rng)
+	s1, _, _ := env.Step(ActRight, rng)
+	if s1[0] <= s0[0] {
+		t.Fatalf("pan right did not increase aim x: %g → %g", s0[0], s1[0])
+	}
+	s2, _, _ := env.Step(ActZoomIn, rng)
+	if s2[2] != 1 {
+		t.Fatalf("zoom flag = %g", s2[2])
+	}
+	s3, _, _ := env.Step(ActZoomOut, rng)
+	if s3[2] != 0 {
+		t.Fatalf("zoom-out flag = %g", s3[2])
+	}
+}
+
+func TestDQNConstructionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := NewDQN(0, 4, DefaultDQNConfig(), rng); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewDQN(4, 1, DefaultDQNConfig(), rng); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDQNReplayAndTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	agent, err := NewDQN(3, 2, DQNConfig{Hidden: 8, BufferSize: 64, Gamma: 0.9, LR: 0.01}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.TrainBatch(8, rng); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty buffer err = %v", err)
+	}
+	// A trivial contextual bandit: reward 1 iff action matches sign bit.
+	for i := 0; i < 200; i++ {
+		s := State{rng.Float64(), rng.Float64(), rng.Float64()}
+		a := rng.Intn(2)
+		r := 0.0
+		want := 0
+		if s[0] > 0.5 {
+			want = 1
+		}
+		if a == want {
+			r = 1
+		}
+		agent.Observe(Transition{State: s, Action: a, Reward: r, Next: s, Done: true})
+	}
+	if agent.BufferLen() != 64 {
+		t.Fatalf("ring buffer len = %d", agent.BufferLen())
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := agent.TrainBatch(16, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Greedy action should match the sign rule on fresh states.
+	correct := 0
+	for i := 0; i < 50; i++ {
+		s := State{rng.Float64(), rng.Float64(), rng.Float64()}
+		a, err := agent.Act(s, 0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if s[0] > 0.5 {
+			want = 1
+		}
+		if a == want {
+			correct++
+		}
+	}
+	if correct < 40 {
+		t.Fatalf("bandit accuracy = %d/50", correct)
+	}
+}
+
+func TestEpsilonGreedyExplores(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	agent, err := NewDQN(2, 4, DefaultDQNConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		a, err := agent.Act(State{0.5, 0.5}, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("ε=1 visited %d of 4 actions", len(seen))
+	}
+}
+
+func TestTrainedCameraBeatsBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	env, err := NewCameraEnv(8, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := NewDQN(env.StateDim(), env.NumActions(), DefaultDQNConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Episodes = 80
+	rewards, err := Train(agent, env, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rewards) != 80 {
+		t.Fatalf("reward curve length = %d", len(rewards))
+	}
+	evalRng := rand.New(rand.NewSource(7))
+	const evalEps, evalSteps = 30, 40
+	dqnScore := EvaluatePolicy(env, evalEps, evalSteps, GreedyPolicy(agent), evalRng)
+	randScore := EvaluatePolicy(env, evalEps, evalSteps, RandomPolicy(env.NumActions()), evalRng)
+	staticScore := EvaluatePolicy(env, evalEps, evalSteps, StaticPolicy(ActStay), evalRng)
+	t.Logf("dqn=%.1f random=%.1f static=%.1f", dqnScore, randScore, staticScore)
+	if dqnScore <= randScore {
+		t.Fatalf("DQN (%.1f) must beat random (%.1f)", dqnScore, randScore)
+	}
+	if dqnScore <= staticScore {
+		t.Fatalf("DQN (%.1f) must beat static camera (%.1f)", dqnScore, staticScore)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	env, _ := NewCameraEnv(8, 10)
+	agent, _ := NewDQN(env.StateDim(), env.NumActions(), DefaultDQNConfig(), rng)
+	if _, err := Train(agent, env, TrainConfig{}, rng); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}

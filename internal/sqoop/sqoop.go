@@ -1,0 +1,224 @@
+// Package sqoop implements bulk data transfer between the rdbms package and
+// HDFS, modeled on Apache Sqoop: an import job splits a table on an integer
+// column into ranges, runs one mapper per split in parallel, and writes one
+// part file per mapper into a target HDFS directory; an export job reads
+// part files back into a table. The paper's software layer uses Sqoop "to
+// gather data from legacy database systems".
+package sqoop
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/hdfs"
+	"repro/internal/rdbms"
+)
+
+// Sentinel errors.
+var (
+	ErrBadMappers = errors.New("sqoop: mapper count must be positive")
+	ErrBadTarget  = errors.New("sqoop: bad target directory")
+)
+
+// ImportConfig describes an import job.
+type ImportConfig struct {
+	Table     string
+	SplitBy   string // integer column used to partition work
+	Mappers   int
+	TargetDir string // HDFS directory, e.g. /warehouse/crimes
+}
+
+// ImportResult summarizes a finished import.
+type ImportResult struct {
+	Rows      int
+	PartFiles []string
+	Splits    []Split
+}
+
+// Split is one mapper's key range [Lo, Hi).
+type Split struct {
+	Lo, Hi int64
+}
+
+// rowRecord is the serialized row format (JSON lines inside part files).
+type rowRecord struct {
+	Values []any `json:"values"`
+}
+
+// Import copies a table from db into fs under cfg.TargetDir.
+func Import(db *rdbms.Database, fs *hdfs.Cluster, cfg ImportConfig) (*ImportResult, error) {
+	if cfg.Mappers <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadMappers, cfg.Mappers)
+	}
+	if cfg.TargetDir == "" || cfg.TargetDir[0] != '/' {
+		return nil, fmt.Errorf("%w: %q", ErrBadTarget, cfg.TargetDir)
+	}
+	table, err := db.Table(cfg.Table)
+	if err != nil {
+		return nil, err
+	}
+	minV, maxV, err := table.MinMaxInt(cfg.SplitBy)
+	if err != nil {
+		return nil, fmt.Errorf("split column: %w", err)
+	}
+	splits := computeSplits(minV, maxV, cfg.Mappers)
+
+	type mapperOut struct {
+		path string
+		rows int
+		err  error
+	}
+	outs := make([]mapperOut, len(splits))
+	var wg sync.WaitGroup
+	for i, sp := range splits {
+		wg.Add(1)
+		go func(i int, sp Split) {
+			defer wg.Done()
+			rows, err := table.ScanIntRange(cfg.SplitBy, sp.Lo, sp.Hi)
+			if err != nil {
+				outs[i] = mapperOut{err: err}
+				return
+			}
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			for _, r := range rows {
+				if err := enc.Encode(rowRecord{Values: r}); err != nil {
+					outs[i] = mapperOut{err: fmt.Errorf("encode row: %w", err)}
+					return
+				}
+			}
+			path := cfg.TargetDir + "/part-m-" + fmt.Sprintf("%05d", i)
+			if err := fs.Write(path, buf.Bytes()); err != nil {
+				outs[i] = mapperOut{err: err}
+				return
+			}
+			outs[i] = mapperOut{path: path, rows: len(rows)}
+		}(i, sp)
+	}
+	wg.Wait()
+	res := &ImportResult{Splits: splits}
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("mapper %d: %w", i, o.err)
+		}
+		res.Rows += o.rows
+		res.PartFiles = append(res.PartFiles, o.path)
+	}
+	return res, nil
+}
+
+// computeSplits divides [min, max] into n contiguous half-open ranges whose
+// union covers every value (the last range is widened by one to include max).
+func computeSplits(minV, maxV int64, n int) []Split {
+	if n < 1 {
+		n = 1
+	}
+	span := maxV - minV + 1
+	if span < int64(n) {
+		n = int(span)
+	}
+	splits := make([]Split, 0, n)
+	step := span / int64(n)
+	rem := span % int64(n)
+	lo := minV
+	for i := 0; i < n; i++ {
+		hi := lo + step
+		if int64(i) < rem {
+			hi++
+		}
+		splits = append(splits, Split{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return splits
+}
+
+// Export reads part files from an HDFS directory back into a table. The
+// table must already exist with a compatible schema.
+func Export(fs *hdfs.Cluster, db *rdbms.Database, sourceDir, tableName string) (int, error) {
+	table, err := db.Table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	var paths []string
+	for _, p := range fs.List() {
+		if len(p) > len(sourceDir) && p[:len(sourceDir)+1] == sourceDir+"/" {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	total := 0
+	cols := table.Columns()
+	for _, path := range paths {
+		data, err := fs.Read(path)
+		if err != nil {
+			return total, fmt.Errorf("read %s: %w", path, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for dec.More() {
+			var rec rowRecord
+			if err := dec.Decode(&rec); err != nil {
+				return total, fmt.Errorf("decode %s: %w", path, err)
+			}
+			row, err := coerceRow(rec.Values, cols)
+			if err != nil {
+				return total, fmt.Errorf("%s: %w", path, err)
+			}
+			if err := table.Insert(row); err != nil {
+				return total, fmt.Errorf("insert from %s: %w", path, err)
+			}
+			total++
+		}
+	}
+	return total, nil
+}
+
+// coerceRow repairs JSON's number erasure (everything becomes float64)
+// against the table schema.
+func coerceRow(values []any, cols []rdbms.Column) (rdbms.Row, error) {
+	if len(values) != len(cols) {
+		return nil, fmt.Errorf("%w: %d values for %d columns", rdbms.ErrBadRow, len(values), len(cols))
+	}
+	row := make(rdbms.Row, len(values))
+	for i, v := range values {
+		switch cols[i].Type {
+		case rdbms.IntCol:
+			f, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("%w: column %s got %T", rdbms.ErrBadType, cols[i].Name, v)
+			}
+			row[i] = int64(f)
+		case rdbms.FloatCol:
+			f, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("%w: column %s got %T", rdbms.ErrBadType, cols[i].Name, v)
+			}
+			row[i] = f
+		case rdbms.StringCol:
+			s, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("%w: column %s got %T", rdbms.ErrBadType, cols[i].Name, v)
+			}
+			row[i] = s
+		default:
+			return nil, fmt.Errorf("%w: column %s has unknown type", rdbms.ErrBadType, cols[i].Name)
+		}
+	}
+	return row, nil
+}
+
+// SplitBoundariesString renders splits for logs.
+func SplitBoundariesString(splits []Split) string {
+	var b bytes.Buffer
+	for i, s := range splits {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("[" + strconv.FormatInt(s.Lo, 10) + "," + strconv.FormatInt(s.Hi, 10) + ")")
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package sqoop
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/rdbms"
+)
+
+func setup(t *testing.T, rows int) (*rdbms.Database, *hdfs.Cluster) {
+	t.Helper()
+	db := rdbms.NewDatabase()
+	tb, err := db.CreateTable("crimes", []rdbms.Column{
+		{Name: "id", Type: rdbms.IntCol},
+		{Name: "kind", Type: rdbms.StringCol},
+		{Name: "severity", Type: rdbms.FloatCol},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := tb.Insert(rdbms.Row{int64(i), fmt.Sprintf("kind-%d", i%4), float64(i) / 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := hdfs.NewCluster(hdfs.Config{BlockSize: 512, Replication: 2}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 3; i++ {
+		if err := fs.AddDataNode(fmt.Sprintf("dn-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, fs
+}
+
+func TestImportWritesPartFiles(t *testing.T) {
+	db, fs := setup(t, 100)
+	res, err := Import(db, fs, ImportConfig{Table: "crimes", SplitBy: "id", Mappers: 4, TargetDir: "/warehouse/crimes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 100 {
+		t.Fatalf("imported %d rows", res.Rows)
+	}
+	if len(res.PartFiles) != 4 {
+		t.Fatalf("part files = %v", res.PartFiles)
+	}
+	for _, p := range res.PartFiles {
+		if !fs.Exists(p) {
+			t.Fatalf("missing part file %s", p)
+		}
+	}
+	if len(res.Splits) != 4 {
+		t.Fatalf("splits = %v", res.Splits)
+	}
+	// Splits must cover [0, 100) contiguously.
+	if res.Splits[0].Lo != 0 || res.Splits[3].Hi != 100 {
+		t.Fatalf("split coverage: %s", SplitBoundariesString(res.Splits))
+	}
+	for i := 1; i < len(res.Splits); i++ {
+		if res.Splits[i].Lo != res.Splits[i-1].Hi {
+			t.Fatalf("gap in splits: %s", SplitBoundariesString(res.Splits))
+		}
+	}
+}
+
+func TestImportExportRoundTrip(t *testing.T) {
+	db, fs := setup(t, 57)
+	if _, err := Import(db, fs, ImportConfig{Table: "crimes", SplitBy: "id", Mappers: 3, TargetDir: "/wh/c"}); err != nil {
+		t.Fatal(err)
+	}
+	// Export into a fresh table with the same schema.
+	dst := rdbms.NewDatabase()
+	if _, err := dst.CreateTable("crimes2", []rdbms.Column{
+		{Name: "id", Type: rdbms.IntCol},
+		{Name: "kind", Type: rdbms.StringCol},
+		{Name: "severity", Type: rdbms.FloatCol},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Export(fs, dst, "/wh/c", "crimes2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 57 {
+		t.Fatalf("exported %d", n)
+	}
+	tb, _ := dst.Table("crimes2")
+	if tb.Count() != 57 {
+		t.Fatalf("table count = %d", tb.Count())
+	}
+	// Spot check a row's types survived the JSON round trip.
+	rows, err := tb.ScanIntRange("id", 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("row 10 missing")
+	}
+	if rows[0][1].(string) != "kind-2" || rows[0][2].(float64) != 5.0 {
+		t.Fatalf("row = %v", rows[0])
+	}
+}
+
+func TestImportMoreMappersThanKeys(t *testing.T) {
+	db, fs := setup(t, 3)
+	res, err := Import(db, fs, ImportConfig{Table: "crimes", SplitBy: "id", Mappers: 10, TargetDir: "/w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3 {
+		t.Fatalf("rows = %d", res.Rows)
+	}
+	if len(res.Splits) > 3 {
+		t.Fatalf("splits = %d, should collapse to key span", len(res.Splits))
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	db, fs := setup(t, 5)
+	if _, err := Import(db, fs, ImportConfig{Table: "crimes", SplitBy: "id", Mappers: 0, TargetDir: "/w"}); !errors.Is(err, ErrBadMappers) {
+		t.Fatalf("mappers err = %v", err)
+	}
+	if _, err := Import(db, fs, ImportConfig{Table: "crimes", SplitBy: "id", Mappers: 2, TargetDir: "w"}); !errors.Is(err, ErrBadTarget) {
+		t.Fatalf("target err = %v", err)
+	}
+	if _, err := Import(db, fs, ImportConfig{Table: "nope", SplitBy: "id", Mappers: 2, TargetDir: "/w"}); !errors.Is(err, rdbms.ErrNoTable) {
+		t.Fatalf("table err = %v", err)
+	}
+	if _, err := Import(db, fs, ImportConfig{Table: "crimes", SplitBy: "kind", Mappers: 2, TargetDir: "/w"}); !errors.Is(err, rdbms.ErrBadType) {
+		t.Fatalf("split col err = %v", err)
+	}
+}
+
+func TestExportErrors(t *testing.T) {
+	_, fs := setup(t, 5)
+	dst := rdbms.NewDatabase()
+	if _, err := Export(fs, dst, "/nowhere", "ghost"); !errors.Is(err, rdbms.ErrNoTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestComputeSplitsProperty(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi int64
+		n      int
+	}{{0, 99, 4}, {5, 5, 3}, {-10, 10, 7}, {0, 6, 7}, {1, 1000000, 13}} {
+		splits := computeSplits(tc.lo, tc.hi, tc.n)
+		if splits[0].Lo != tc.lo {
+			t.Fatalf("%+v: first lo = %d", tc, splits[0].Lo)
+		}
+		if splits[len(splits)-1].Hi != tc.hi+1 {
+			t.Fatalf("%+v: last hi = %d, want %d", tc, splits[len(splits)-1].Hi, tc.hi+1)
+		}
+		for i := 1; i < len(splits); i++ {
+			if splits[i].Lo != splits[i-1].Hi {
+				t.Fatalf("%+v: discontiguous at %d", tc, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestBroker(t *testing.T, partitions int) *Broker {
+	t.Helper()
+	b := NewBroker()
+	if err := b.CreateTopic("events", partitions); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCreateTopicErrors(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 0); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("zero partitions err = %v", err)
+	}
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("t", 2); !errors.Is(err, ErrTopicExists) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	if _, err := b.Partitions("missing"); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("unknown topic err = %v", err)
+	}
+}
+
+func TestProduceFetchRoundTrip(t *testing.T) {
+	b := newTestBroker(t, 1)
+	for i := 0; i < 5; i++ {
+		p, off, err := b.Produce("events", "k", []byte(strconv.Itoa(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 0 || off != int64(i) {
+			t.Fatalf("produce %d: partition=%d offset=%d", i, p, off)
+		}
+	}
+	recs, err := b.Fetch("events", 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0].Value) != "1" || string(recs[1].Value) != "2" {
+		t.Fatalf("fetch = %v", recs)
+	}
+	// Fetch at end is empty, not error.
+	end, _ := b.EndOffset("events", 0)
+	empty, err := b.Fetch("events", 0, end, 10)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("fetch at end = %v, %v", empty, err)
+	}
+	if _, err := b.Fetch("events", 0, end+1, 1); !errors.Is(err, ErrOffsetOutOfLog) {
+		t.Fatalf("beyond-end err = %v", err)
+	}
+	if _, err := b.Fetch("events", 5, 0, 1); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("bad partition err = %v", err)
+	}
+}
+
+func TestKeyOrderingWithinPartition(t *testing.T) {
+	b := newTestBroker(t, 8)
+	const perKey = 20
+	keys := []string{"camera-1", "camera-2", "camera-3", "camera-4"}
+	for i := 0; i < perKey; i++ {
+		for _, k := range keys {
+			if _, _, err := b.Produce("events", k, []byte(fmt.Sprintf("%s:%d", k, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// All records of one key land in one partition, in production order.
+	for _, k := range keys {
+		var seq []string
+		n, _ := b.Partitions("events")
+		for p := 0; p < n; p++ {
+			end, _ := b.EndOffset("events", p)
+			recs, err := b.Fetch("events", p, 0, int(end))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs {
+				if r.Key == k {
+					seq = append(seq, string(r.Value))
+				}
+			}
+		}
+		if len(seq) != perKey {
+			t.Fatalf("key %s: %d records across partitions, want %d in one", k, len(seq), perKey)
+		}
+		for i, v := range seq {
+			if v != fmt.Sprintf("%s:%d", k, i) {
+				t.Fatalf("key %s out of order at %d: %s", k, i, v)
+			}
+		}
+	}
+}
+
+func TestConsumerGroupPollAndLag(t *testing.T) {
+	b := newTestBroker(t, 4)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, _, err := b.Produce("events", strconv.Itoa(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lag, err := b.Lag("g1", "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != n {
+		t.Fatalf("initial lag = %d", lag)
+	}
+	seen := 0
+	for {
+		recs, err := b.Poll("g1", "events", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		seen += len(recs)
+	}
+	if seen != n {
+		t.Fatalf("group consumed %d, want %d", seen, n)
+	}
+	lag, _ = b.Lag("g1", "events")
+	if lag != 0 {
+		t.Fatalf("final lag = %d", lag)
+	}
+	// A different group sees everything again.
+	lag2, _ := b.Lag("g2", "events")
+	if lag2 != n {
+		t.Fatalf("fresh group lag = %d", lag2)
+	}
+}
+
+func TestCommitAndCommitted(t *testing.T) {
+	b := newTestBroker(t, 2)
+	if err := b.Commit("g", "events", 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	off, err := b.Committed("g", "events", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 5 {
+		t.Fatalf("committed = %d", off)
+	}
+	if off, _ := b.Committed("g", "events", 0); off != 0 {
+		t.Fatalf("uncommitted partition = %d", off)
+	}
+	if err := b.Commit("g", "missing", 0, 1); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := b.Commit("g", "events", 9, 1); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProduceIsolatesValueBuffer(t *testing.T) {
+	b := newTestBroker(t, 1)
+	buf := []byte("original")
+	if _, _, err := b.Produce("events", "k", buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "mutated!")
+	recs, _ := b.Fetch("events", 0, 0, 1)
+	if string(recs[0].Value) != "original" {
+		t.Fatal("broker must copy the value at the boundary")
+	}
+}
+
+func TestConcurrentProducersConsistent(t *testing.T) {
+	b := newTestBroker(t, 4)
+	const producers, each = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, _, err := b.Produce("events", strconv.Itoa(p), nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	total := int64(0)
+	n, _ := b.Partitions("events")
+	for p := 0; p < n; p++ {
+		end, _ := b.EndOffset("events", p)
+		total += end
+	}
+	if total != producers*each {
+		t.Fatalf("total records = %d, want %d", total, producers*each)
+	}
+}
+
+// Property: offsets within a partition are dense, starting at 0.
+func TestOffsetsDenseProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		if len(keys) > 200 {
+			keys = keys[:200]
+		}
+		b := NewBroker()
+		if err := b.CreateTopic("t", 3); err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if _, _, err := b.Produce("t", k, nil); err != nil {
+				return false
+			}
+		}
+		for p := 0; p < 3; p++ {
+			end, err := b.EndOffset("t", p)
+			if err != nil {
+				return false
+			}
+			recs, err := b.Fetch("t", p, 0, int(end))
+			if err != nil {
+				return false
+			}
+			for i, r := range recs {
+				if r.Offset != int64(i) || r.Partition != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling operation
+// over NCHW tensors.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate returns an error when the geometry does not produce a positive
+// output plane.
+func (g ConvGeom) Validate() error {
+	if g.Stride <= 0 {
+		return fmt.Errorf("%w: stride %d", ErrShape, g.Stride)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("%w: conv geometry %+v yields empty output", ErrShape, g)
+	}
+	return nil
+}
+
+// Im2Col unrolls a single NCHW image (rank-3 tensor [C,H,W]) into a matrix of
+// shape [C*KH*KW, OutH*OutW] so that convolution becomes a matrix product
+// with the filter matrix [outC, C*KH*KW].
+func Im2Col(img *Tensor, g ConvGeom) (*Tensor, error) {
+	if img.Dims() != 3 || img.Dim(0) != g.InC || img.Dim(1) != g.InH || img.Dim(2) != g.InW {
+		return nil, fmt.Errorf("%w: Im2Col image %v vs geom %+v", ErrShape, img.Shape(), g)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	oh, ow := g.OutH(), g.OutW()
+	cols := New(g.InC*g.KH*g.KW, oh*ow)
+	src := img.Data()
+	dst := cols.Data()
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := src[c*g.InH*g.InW:]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				base := row * oh * ow
+				for y := 0; y < oh; y++ {
+					sy := y*g.Stride + kh - g.Pad
+					for x := 0; x < ow; x++ {
+						sx := x*g.Stride + kw - g.Pad
+						v := 0.0
+						if sy >= 0 && sy < g.InH && sx >= 0 && sx < g.InW {
+							v = plane[sy*g.InW+sx]
+						}
+						dst[base+y*ow+x] = v
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols, nil
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a [C*KH*KW, OutH*OutW] matrix
+// of column gradients back into an image-shaped [C,H,W] tensor, accumulating
+// where receptive fields overlap.
+func Col2Im(cols *Tensor, g ConvGeom) (*Tensor, error) {
+	oh, ow := g.OutH(), g.OutW()
+	if cols.Dims() != 2 || cols.Dim(0) != g.InC*g.KH*g.KW || cols.Dim(1) != oh*ow {
+		return nil, fmt.Errorf("%w: Col2Im cols %v vs geom %+v", ErrShape, cols.Shape(), g)
+	}
+	img := New(g.InC, g.InH, g.InW)
+	src := cols.Data()
+	dst := img.Data()
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := dst[c*g.InH*g.InW:]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				base := row * oh * ow
+				for y := 0; y < oh; y++ {
+					sy := y*g.Stride + kh - g.Pad
+					if sy < 0 || sy >= g.InH {
+						continue
+					}
+					for x := 0; x < ow; x++ {
+						sx := x*g.Stride + kw - g.Pad
+						if sx < 0 || sx >= g.InW {
+							continue
+						}
+						plane[sy*g.InW+sx] += src[base+y*ow+x]
+					}
+				}
+				row++
+			}
+		}
+	}
+	return img, nil
+}

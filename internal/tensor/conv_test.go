@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvGeomOutput(t *testing.T) {
+	tests := []struct {
+		name   string
+		g      ConvGeom
+		oh, ow int
+	}{
+		{"same-pad-3x3", ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}, 8, 8},
+		{"valid-3x3", ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 0}, 6, 6},
+		{"stride-2", ConvGeom{InC: 2, InH: 8, InW: 8, KH: 2, KW: 2, Stride: 2, Pad: 0}, 4, 4},
+		{"rect", ConvGeom{InC: 1, InH: 5, InW: 7, KH: 3, KW: 3, Stride: 2, Pad: 1}, 3, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tt.g.OutH() != tt.oh || tt.g.OutW() != tt.ow {
+				t.Fatalf("out = %dx%d, want %dx%d", tt.g.OutH(), tt.g.OutW(), tt.oh, tt.ow)
+			}
+		})
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	bad := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, Stride: 1}
+	if err := bad.Validate(); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+	zero := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 2, KW: 2, Stride: 0}
+	if err := zero.Validate(); !errors.Is(err, ErrShape) {
+		t.Fatalf("stride-0 err = %v, want ErrShape", err)
+	}
+}
+
+// convDirect is a reference convolution used to validate the im2col path.
+func convDirect(img *Tensor, w *Tensor, g ConvGeom, outC int) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	out := New(outC, oh, ow)
+	for oc := 0; oc < outC; oc++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				s := 0.0
+				for c := 0; c < g.InC; c++ {
+					for kh := 0; kh < g.KH; kh++ {
+						for kw := 0; kw < g.KW; kw++ {
+							sy := y*g.Stride + kh - g.Pad
+							sx := x*g.Stride + kw - g.Pad
+							if sy < 0 || sy >= g.InH || sx < 0 || sx >= g.InW {
+								continue
+							}
+							s += img.At(c, sy, sx) * w.At(oc, c*g.KH*g.KW+kh*g.KW+kw)
+						}
+					}
+				}
+				out.Set(s, oc, y, x)
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	geoms := []ConvGeom{
+		{InC: 1, InH: 5, InW: 5, KH: 3, KW: 3, Stride: 1, Pad: 0},
+		{InC: 2, InH: 6, InW: 6, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 3, InH: 8, InW: 8, KH: 2, KW: 2, Stride: 2, Pad: 0},
+		{InC: 2, InH: 7, InW: 5, KH: 3, KW: 3, Stride: 2, Pad: 1},
+	}
+	for gi, g := range geoms {
+		img := Randn(rng, 1, g.InC, g.InH, g.InW)
+		outC := 4
+		w := Randn(rng, 1, outC, g.InC*g.KH*g.KW)
+
+		cols, err := Im2Col(img, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := MatMul(w, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := prod.MustReshape(outC, g.OutH(), g.OutW())
+		want := convDirect(img, w, g, outC)
+		if !AllClose(got, want, 1e-10) {
+			t.Fatalf("geom %d: im2col conv disagrees with direct conv", gi)
+		}
+	}
+}
+
+func TestIm2ColShapeError(t *testing.T) {
+	g := ConvGeom{InC: 2, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if _, err := Im2Col(New(1, 4, 4), g); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+// Col2Im must be the exact adjoint of Im2Col: <Im2Col(x), y> == <x, Col2Im(y)>.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := ConvGeom{
+			InC: 1 + rng.Intn(3), InH: 4 + rng.Intn(5), InW: 4 + rng.Intn(5),
+			KH: 1 + rng.Intn(3), KW: 1 + rng.Intn(3),
+			Stride: 1 + rng.Intn(2), Pad: rng.Intn(2),
+		}
+		if g.Validate() != nil {
+			continue
+		}
+		x := Randn(rng, 1, g.InC, g.InH, g.InW)
+		cols, err := Im2Col(x, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := Randn(rng, 1, cols.Dim(0), cols.Dim(1))
+		back, err := Col2Im(y, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs := 0.0
+		for i, v := range cols.Data() {
+			lhs += v * y.Data()[i]
+		}
+		rhs := 0.0
+		for i, v := range x.Data() {
+			rhs += v * back.Data()[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-8*(1+math.Abs(lhs)) {
+			t.Fatalf("trial %d: adjoint identity violated: %g vs %g (geom %+v)", trial, lhs, rhs, g)
+		}
+	}
+}
+
+func TestCol2ImShapeError(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if _, err := Col2Im(New(5, 5), g); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}

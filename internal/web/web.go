@@ -1,0 +1,181 @@
+// Package web implements the Fig. 4 web/visualization tier: an HTTP server
+// exposing the cyberinfrastructure's stores and analysis results as JSON —
+// "the result of inference will be sent to the web server to be visualized
+// on our website". Endpoints cover the layer inventory, geo-time tweet
+// queries, district crime lookups, camera search, the operator alert feed,
+// and the §IV.B narrowing funnel.
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// ErrBadRequest marks client-side parameter errors.
+var ErrBadRequest = errors.New("web: bad request")
+
+// Server serves the dashboard API for one infrastructure.
+type Server struct {
+	inf *core.Infrastructure
+	mux *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer builds the handler. It does not listen; mount it on any
+// http.Server (or httptest).
+func NewServer(inf *core.Infrastructure) *Server {
+	s := &Server{inf: inf, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/inventory", s.handleInventory)
+	s.mux.HandleFunc("GET /api/tweets/near", s.handleTweetsNear)
+	s.mux.HandleFunc("GET /api/crimes/district/{id}", s.handleCrimesDistrict)
+	s.mux.HandleFunc("GET /api/cameras/near", s.handleCamerasNear)
+	s.mux.HandleFunc("GET /api/alerts", s.handleAlerts)
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.inf.HDFS.Status()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"hdfsLiveNodes":   st.LiveNodes,
+		"hdfsLostBlocks":  st.LostBlocks,
+		"brokerTopics":    s.inf.Broker.Topics(),
+		"camerasDeployed": len(s.inf.Cameras),
+	})
+}
+
+func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.inf.Inventory())
+}
+
+// parseLatLon reads lat/lon query params.
+func parseLatLon(r *http.Request) (geo.Point, error) {
+	lat, err := strconv.ParseFloat(r.URL.Query().Get("lat"), 64)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("%w: lat: %v", ErrBadRequest, err)
+	}
+	lon, err := strconv.ParseFloat(r.URL.Query().Get("lon"), 64)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("%w: lon: %v", ErrBadRequest, err)
+	}
+	p := geo.Point{Lat: lat, Lon: lon}
+	if err := p.Validate(); err != nil {
+		return geo.Point{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return p, nil
+}
+
+func (s *Server) handleTweetsNear(w http.ResponseWriter, r *http.Request) {
+	center, err := parseLatLon(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	radius, err := strconv.ParseFloat(r.URL.Query().Get("radiusKm"), 64)
+	if err != nil || radius <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: radiusKm", ErrBadRequest))
+		return
+	}
+	// Default window: everything.
+	from := time.Unix(0, 0)
+	to := time.Unix(1<<40, 0)
+	if v := r.URL.Query().Get("fromUnix"); v != "" {
+		sec, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: fromUnix", ErrBadRequest))
+			return
+		}
+		from = time.Unix(sec, 0)
+	}
+	if v := r.URL.Query().Get("toUnix"); v != "" {
+		sec, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: toUnix", ErrBadRequest))
+			return
+		}
+		to = time.Unix(sec, 0)
+	}
+	docs, err := s.inf.TweetsNear(center, radius, from, to)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(docs), "tweets": docs})
+}
+
+func (s *Server) handleCrimesDistrict(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: district id", ErrBadRequest))
+		return
+	}
+	rows, err := s.inf.CrimesInDistrict(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"district": id, "count": len(rows), "rows": rows})
+}
+
+func (s *Server) handleCamerasNear(w http.ResponseWriter, r *http.Request) {
+	center, err := parseLatLon(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	radius, err := strconv.ParseFloat(r.URL.Query().Get("radiusKm"), 64)
+	if err != nil || radius <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: radiusKm", ErrBadRequest))
+		return
+	}
+	type camOut struct {
+		ID         string  `json:"id"`
+		Corridor   string  `json:"corridor"`
+		DistanceKm float64 `json:"distanceKm"`
+	}
+	var out []camOut
+	for _, n := range s.inf.CamIndex.QueryRadius(center, radius) {
+		out = append(out, camOut{ID: n.Value.ID, Corridor: n.Value.Corridor, DistanceKm: n.DistanceKm})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "cameras": out})
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	max := 100
+	if v := r.URL.Query().Get("max"); v != "" {
+		m, err := strconv.Atoi(v)
+		if err != nil || m < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: max", ErrBadRequest))
+			return
+		}
+		max = m
+	}
+	alerts, err := s.inf.PendingAlerts(max)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(alerts), "alerts": alerts})
+}

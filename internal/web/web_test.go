@@ -1,0 +1,161 @@
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/citydata"
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *core.Infrastructure) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Cameras = 30
+	cfg.Gang.Members = 100
+	cfg.Gang.Groups = 10
+	inf, err := core.New(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	incidents, err := citydata.GenerateCrimes(citydata.DefaultCrimeConfig(cfg.Epoch), inf.Gang.Nodes(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := citydata.DefaultTweetConfig(cfg.Epoch)
+	tcfg.Count = 300
+	tweets, err := citydata.GenerateTweets(tcfg, incidents, inf.Gang, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inf.IngestTweets(tweets); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inf.IngestCrimes(incidents, ""); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(inf))
+	t.Cleanup(srv.Close)
+	return srv, inf
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/api/health", http.StatusOK)
+	if out["status"] != "ok" {
+		t.Fatalf("health = %v", out)
+	}
+	if out["camerasDeployed"].(float64) != 30 {
+		t.Fatalf("cameras = %v", out["camerasDeployed"])
+	}
+}
+
+func TestInventoryEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/api/inventory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var layers []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&layers); err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != 4 {
+		t.Fatalf("layers = %d", len(layers))
+	}
+}
+
+func TestTweetsNearEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	url := srv.URL + "/api/tweets/near?lat=30.4515&lon=-91.1871&radiusKm=50"
+	out := getJSON(t, url, http.StatusOK)
+	if out["count"].(float64) == 0 {
+		t.Fatal("no tweets near Baton Rouge")
+	}
+	// Parameter validation.
+	getJSON(t, srv.URL+"/api/tweets/near?lat=abc&lon=-91&radiusKm=5", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/api/tweets/near?lat=30&lon=-91", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/api/tweets/near?lat=99&lon=-91&radiusKm=5", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/api/tweets/near?lat=30&lon=-91&radiusKm=5&fromUnix=zzz", http.StatusBadRequest)
+}
+
+func TestCrimesDistrictEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	total := 0
+	for d := 1; d <= 12; d++ {
+		out := getJSON(t, fmt.Sprintf("%s/api/crimes/district/%d", srv.URL, d), http.StatusOK)
+		total += int(out["count"].(float64))
+	}
+	if total != 300 {
+		t.Fatalf("district totals = %d", total)
+	}
+	getJSON(t, srv.URL+"/api/crimes/district/zero", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/api/crimes/district/0", http.StatusBadRequest)
+}
+
+func TestCamerasNearEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/api/cameras/near?lat=30.4515&lon=-91.1871&radiusKm=100", http.StatusOK)
+	if out["count"].(float64) == 0 {
+		t.Fatal("no cameras near Baton Rouge")
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	srv, inf := newTestServer(t)
+	// Inject alerts straight onto the topic.
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"cameraId":"cam-%d","clipId":%d,"action":"fight","exit":"local"}`, i, i)
+		if _, _, err := inf.Broker.Produce("alerts", "cam", []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := getJSON(t, srv.URL+"/api/alerts", http.StatusOK)
+	if out["count"].(float64) != 3 {
+		t.Fatalf("alerts = %v", out["count"])
+	}
+	// Second read drains nothing (consumer group committed).
+	out2 := getJSON(t, srv.URL+"/api/alerts", http.StatusOK)
+	if out2["count"].(float64) != 0 {
+		t.Fatalf("alerts re-read = %v", out2["count"])
+	}
+	getJSON(t, srv.URL+"/api/alerts?max=junk", http.StatusBadRequest)
+}
+
+func TestUnknownRouteIs404(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/api/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,354 @@
+// Package yarn simulates a YARN-style cluster resource manager: node
+// managers advertise capacity, applications request containers, and a
+// capacity scheduler grants them with per-queue weighted fair sharing. The
+// dataproc engine (the Spark analog) acquires containers from this package
+// for its task slots, mirroring the paper's "Apache Hadoop YARN ... as the
+// resource scheduler".
+package yarn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrNoNode        = errors.New("yarn: node not found")
+	ErrNodeExists    = errors.New("yarn: node already registered")
+	ErrNoApplication = errors.New("yarn: application not found")
+	ErrNoContainer   = errors.New("yarn: container not found")
+	ErrNoQueue       = errors.New("yarn: queue not found")
+	ErrOverCapacity  = errors.New("yarn: request exceeds total cluster capacity")
+)
+
+// Resources describes cores and memory.
+type Resources struct {
+	Cores int
+	MemMB int
+}
+
+// fits reports whether r fits into free.
+func (r Resources) fits(free Resources) bool {
+	return r.Cores <= free.Cores && r.MemMB <= free.MemMB
+}
+
+type node struct {
+	id    string
+	total Resources
+	used  Resources
+}
+
+func (n *node) free() Resources {
+	return Resources{Cores: n.total.Cores - n.used.Cores, MemMB: n.total.MemMB - n.used.MemMB}
+}
+
+// ApplicationID identifies a submitted application.
+type ApplicationID int64
+
+// ContainerID identifies a granted container.
+type ContainerID int64
+
+// Container is a granted resource lease on a node.
+type Container struct {
+	ID     ContainerID
+	App    ApplicationID
+	NodeID string
+	Res    Resources
+}
+
+type application struct {
+	id    ApplicationID
+	name  string
+	queue string
+	used  Resources
+}
+
+type pendingRequest struct {
+	app ApplicationID
+	res Resources
+	ch  chan<- ContainerID // nil for polling-style requests
+	seq int64
+}
+
+type queue struct {
+	name    string
+	weight  float64
+	used    Resources
+	pending []pendingRequest
+}
+
+// ResourceManager is the cluster scheduler. Safe for concurrent use.
+type ResourceManager struct {
+	mu         sync.Mutex
+	nodes      map[string]*node
+	queues     map[string]*queue
+	apps       map[ApplicationID]*application
+	containers map[ContainerID]*Container
+	nextApp    ApplicationID
+	nextCont   ContainerID
+	nextSeq    int64
+}
+
+// NewResourceManager creates a manager with a single default queue of
+// weight 1.
+func NewResourceManager() *ResourceManager {
+	rm := &ResourceManager{
+		nodes:      make(map[string]*node),
+		queues:     make(map[string]*queue),
+		apps:       make(map[ApplicationID]*application),
+		containers: make(map[ContainerID]*Container),
+	}
+	rm.queues["default"] = &queue{name: "default", weight: 1}
+	return rm
+}
+
+// AddQueue registers a scheduling queue with a fair-share weight.
+func (rm *ResourceManager) AddQueue(name string, weight float64) error {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if weight <= 0 {
+		return fmt.Errorf("%w: weight %g", ErrNoQueue, weight)
+	}
+	rm.queues[name] = &queue{name: name, weight: weight}
+	return nil
+}
+
+// AddNode registers a node manager with its capacity.
+func (rm *ResourceManager) AddNode(id string, res Resources) error {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if _, ok := rm.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrNodeExists, id)
+	}
+	rm.nodes[id] = &node{id: id, total: res}
+	return nil
+}
+
+// TotalCapacity sums capacity across nodes.
+func (rm *ResourceManager) TotalCapacity() Resources {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	var t Resources
+	for _, n := range rm.nodes {
+		t.Cores += n.total.Cores
+		t.MemMB += n.total.MemMB
+	}
+	return t
+}
+
+// Submit registers an application on a queue and returns its id.
+func (rm *ResourceManager) Submit(name, queueName string) (ApplicationID, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if _, ok := rm.queues[queueName]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoQueue, queueName)
+	}
+	rm.nextApp++
+	id := rm.nextApp
+	rm.apps[id] = &application{id: id, name: name, queue: queueName}
+	return id, nil
+}
+
+// Request asks for one container. If resources are free it is granted
+// immediately; otherwise it is queued and granted by a later Release. The
+// returned channel receives the container id exactly once.
+func (rm *ResourceManager) Request(app ApplicationID, res Resources) (<-chan ContainerID, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	a, ok := rm.apps[app]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoApplication, app)
+	}
+	total := Resources{}
+	for _, n := range rm.nodes {
+		total.Cores += n.total.Cores
+		total.MemMB += n.total.MemMB
+	}
+	if res.Cores > maxNodeCores(rm.nodes) || res.MemMB > maxNodeMem(rm.nodes) {
+		return nil, fmt.Errorf("%w: %+v", ErrOverCapacity, res)
+	}
+	ch := make(chan ContainerID, 1)
+	rm.nextSeq++
+	q := rm.queues[a.queue]
+	q.pending = append(q.pending, pendingRequest{app: app, res: res, ch: ch, seq: rm.nextSeq})
+	rm.scheduleLocked()
+	return ch, nil
+}
+
+func maxNodeCores(nodes map[string]*node) int {
+	m := 0
+	for _, n := range nodes {
+		if n.total.Cores > m {
+			m = n.total.Cores
+		}
+	}
+	return m
+}
+
+func maxNodeMem(nodes map[string]*node) int {
+	m := 0
+	for _, n := range nodes {
+		if n.total.MemMB > m {
+			m = n.total.MemMB
+		}
+	}
+	return m
+}
+
+// scheduleLocked grants pending requests. Queues are served most-starved
+// first (lowest used-cores/weight ratio); requests within a queue are FIFO.
+func (rm *ResourceManager) scheduleLocked() {
+	for {
+		// Pick the most-starved queue with pending work.
+		var best *queue
+		var bestRatio float64
+		for _, q := range rm.queues {
+			if len(q.pending) == 0 {
+				continue
+			}
+			ratio := float64(q.used.Cores) / q.weight
+			if best == nil || ratio < bestRatio {
+				best, bestRatio = q, ratio
+			}
+		}
+		if best == nil {
+			return
+		}
+		req := best.pending[0]
+		n := rm.findNodeFor(req.res)
+		if n == nil {
+			// Head-of-line blocks this queue; try other queues' heads.
+			granted := false
+			queues := rm.sortedQueues()
+			for _, q := range queues {
+				if q == best || len(q.pending) == 0 {
+					continue
+				}
+				if node := rm.findNodeFor(q.pending[0].res); node != nil {
+					rm.grantLocked(q, node)
+					granted = true
+					break
+				}
+			}
+			if !granted {
+				return
+			}
+			continue
+		}
+		rm.grantLocked(best, n)
+	}
+}
+
+func (rm *ResourceManager) sortedQueues() []*queue {
+	qs := make([]*queue, 0, len(rm.queues))
+	for _, q := range rm.queues {
+		qs = append(qs, q)
+	}
+	sort.Slice(qs, func(i, j int) bool {
+		return float64(qs[i].used.Cores)/qs[i].weight < float64(qs[j].used.Cores)/qs[j].weight
+	})
+	return qs
+}
+
+func (rm *ResourceManager) findNodeFor(res Resources) *node {
+	// Best-fit: fewest free cores that still fit, for packing.
+	var best *node
+	ids := make([]string, 0, len(rm.nodes))
+	for id := range rm.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := rm.nodes[id]
+		if res.fits(n.free()) {
+			if best == nil || n.free().Cores < best.free().Cores {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+func (rm *ResourceManager) grantLocked(q *queue, n *node) {
+	req := q.pending[0]
+	q.pending = q.pending[1:]
+	rm.nextCont++
+	c := &Container{ID: rm.nextCont, App: req.app, NodeID: n.id, Res: req.res}
+	rm.containers[c.ID] = c
+	n.used.Cores += req.res.Cores
+	n.used.MemMB += req.res.MemMB
+	q.used.Cores += req.res.Cores
+	q.used.MemMB += req.res.MemMB
+	if a := rm.apps[req.app]; a != nil {
+		a.used.Cores += req.res.Cores
+		a.used.MemMB += req.res.MemMB
+	}
+	req.ch <- c.ID
+}
+
+// Release frees a container and triggers scheduling of pending requests.
+func (rm *ResourceManager) Release(id ContainerID) error {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	c, ok := rm.containers[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoContainer, id)
+	}
+	delete(rm.containers, id)
+	if n := rm.nodes[c.NodeID]; n != nil {
+		n.used.Cores -= c.Res.Cores
+		n.used.MemMB -= c.Res.MemMB
+	}
+	if a := rm.apps[c.App]; a != nil {
+		a.used.Cores -= c.Res.Cores
+		a.used.MemMB -= c.Res.MemMB
+		if q := rm.queues[a.queue]; q != nil {
+			q.used.Cores -= c.Res.Cores
+			q.used.MemMB -= c.Res.MemMB
+		}
+	}
+	rm.scheduleLocked()
+	return nil
+}
+
+// Running returns the number of live containers.
+func (rm *ResourceManager) Running() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.containers)
+}
+
+// Pending returns the number of queued (ungranted) requests.
+func (rm *ResourceManager) Pending() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	p := 0
+	for _, q := range rm.queues {
+		p += len(q.pending)
+	}
+	return p
+}
+
+// AppUsage returns an application's currently held resources.
+func (rm *ResourceManager) AppUsage(app ApplicationID) (Resources, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	a, ok := rm.apps[app]
+	if !ok {
+		return Resources{}, fmt.Errorf("%w: %d", ErrNoApplication, app)
+	}
+	return a.used, nil
+}
+
+// QueueUsage returns a queue's currently held resources.
+func (rm *ResourceManager) QueueUsage(name string) (Resources, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	q, ok := rm.queues[name]
+	if !ok {
+		return Resources{}, fmt.Errorf("%w: %s", ErrNoQueue, name)
+	}
+	return q.used, nil
+}
