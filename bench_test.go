@@ -206,6 +206,7 @@ func BenchmarkFogSimulation(b *testing.B) {
 func BenchmarkE15_GeospatialCNN(b *testing.B)   { benchExperiment(b, "E15") }
 func BenchmarkE16_OpioidAnalytics(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17_GraphAnalytics(b *testing.B)  { benchExperiment(b, "E17") }
+func BenchmarkE18_ChaosPipeline(b *testing.B)   { benchExperiment(b, "E18") }
 
 // BenchmarkDataParallelTraining measures the software layer's "data
 // parallelism ... multiple workers per node" claim: synchronous replicated

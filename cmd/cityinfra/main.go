@@ -5,6 +5,7 @@
 //
 //	go run ./cmd/cityinfra                 # boot + ingest + report
 //	go run ./cmd/cityinfra -tweets 10000   # heavier ingest
+//	go run ./cmd/cityinfra -chaos 0.1      # inject 10% faults on every seam
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/citydata"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/viz"
 	"repro/internal/web"
@@ -37,6 +39,7 @@ func run(args []string) error {
 	wazeCount := fs.Int("waze", 800, "waze reports to ingest")
 	callCount := fs.Int("calls", 400, "911 calls to ingest")
 	serve := fs.String("serve", "", "after ingesting, serve the dashboard API on this address (e.g. :8080)")
+	chaos := fs.Float64("chaos", 0, "per-call fault probability injected on every storage/stream seam (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +50,13 @@ func run(args []string) error {
 	inf, err := core.New(cfg, rng)
 	if err != nil {
 		return fmt.Errorf("boot: %w", err)
+	}
+	if *chaos > 0 {
+		fmt.Printf("chaos mode: injecting %.0f%% faults on broker, HDFS, HBase, and docstore seams\n", *chaos*100)
+		inf.EnableChaos(faults.NewInjector(faults.Config{
+			Seed: *seed, ErrorRate: *chaos, BurstLen: 2,
+			LatencyRate: 0.05, LatencySpikeMs: 20,
+		}))
 	}
 	inv := viz.NewTable("layer inventory (Fig. 1)", "layer", "component")
 	for _, l := range inf.Inventory() {
@@ -76,28 +86,43 @@ func run(args []string) error {
 		return err
 	}
 
-	flows := viz.NewTable("ingestion (Fig. 4)", "source", "collected", "stored")
+	flows := viz.NewTable("ingestion (Fig. 4)", "source", "collected", "stored", "dead-lettered", "dropped", "retries")
 	ts, err := inf.IngestTweets(tweets)
 	if err != nil {
 		return err
 	}
-	flows.AddRow("tweets", ts.Collected, ts.Stored)
+	flows.AddRow("tweets", ts.Collected, ts.Stored, ts.DeadLettered, ts.Dropped, ts.Retries)
 	ws, err := inf.IngestWaze(waze)
 	if err != nil {
 		return err
 	}
-	flows.AddRow("waze", ws.Collected, ws.Stored)
+	flows.AddRow("waze", ws.Collected, ws.Stored, ws.DeadLettered, ws.Dropped, ws.Retries)
 	cs, err := inf.IngestCrimes(incidents, "/warehouse/crimes/"+cfg.Epoch.Format("2006-01")+".json")
 	if err != nil {
 		return err
 	}
-	flows.AddRow("crimes", cs.Collected, cs.Stored)
+	flows.AddRow("crimes", cs.Collected, cs.Stored, cs.DeadLettered, cs.Dropped, cs.Retries)
 	ns, err := inf.Ingest911(calls)
 	if err != nil {
 		return err
 	}
-	flows.AddRow("911 calls", ns.Collected, ns.Stored)
+	flows.AddRow("911 calls", ns.Collected, ns.Stored, ns.DeadLettered, ns.Dropped, ns.Retries)
 	fmt.Println(flows)
+
+	if *chaos > 0 {
+		rt := viz.NewTable("resilience under chaos", "metric", "value")
+		ps := inf.Retry.Stats()
+		bs := inf.Breaker.Stats()
+		tot := inf.Injector.Totals()
+		rt.AddRow("injected errors", tot.Errors)
+		rt.AddRow("injected latency spikes", tot.LatencySpikes)
+		rt.AddRow("retry attempts", ps.Attempts)
+		rt.AddRow("retries", ps.Retries)
+		rt.AddRow("breaker opens / half-opens / closes", fmt.Sprintf("%d / %d / %d", bs.Opened, bs.HalfOpened, bs.Closed))
+		rt.AddRow("breaker short-circuits", ps.ShortCircuits)
+		rt.AddRow("simulated backoff", inf.Clock.Slept().Round(time.Millisecond))
+		fmt.Println(rt)
+	}
 
 	// Sample queries the web/visualization tier would issue.
 	br := geo.Point{Lat: 30.4515, Lon: -91.1871}

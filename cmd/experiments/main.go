@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's figures and quantitative
-// claims (experiments E1..E14, see DESIGN.md §4). Without arguments it runs
+// claims (experiments E1..E18, see DESIGN.md §4). Without arguments it runs
 // everything; pass experiment ids to run a subset.
 //
 //	go run ./cmd/experiments            # all experiments

@@ -17,10 +17,12 @@ import (
 	"repro/internal/citydata"
 	"repro/internal/dataproc"
 	"repro/internal/docstore"
+	"repro/internal/faults"
 	"repro/internal/fog"
 	"repro/internal/geo"
 	"repro/internal/hbase"
 	"repro/internal/hdfs"
+	"repro/internal/retry"
 	"repro/internal/socialgraph"
 	"repro/internal/stream"
 	"repro/internal/yarn"
@@ -81,6 +83,20 @@ type Infrastructure struct {
 	CrimeTab *hbase.Table // row: incident report number
 	VideoTab *hbase.Table // row: camera/time annotations
 
+	// Resilience layer. Bus is the produce/poll surface the pipelines use —
+	// normally the Broker itself, wrapped by a fault-injecting decorator when
+	// chaos is enabled. Retry is the shared policy (backoff + breaker on the
+	// simulated clock) every ingestion seam goes through; RedriveRounds
+	// bounds how many times dead-lettered events are replayed before being
+	// quarantined for good.
+	Bus           stream.Bus
+	Clock         *retry.ManualClock
+	Breaker       *retry.Breaker
+	Retry         *retry.Policy
+	RedriveRounds int
+	Injector      *faults.Injector // nil until EnableChaos
+	storeFault    func() error     // docstore insert fault hook
+
 	// Hardware layer.
 	Deployment *fog.Deployment
 
@@ -124,17 +140,30 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 
 	// Software layer: streaming + NoSQL.
 	inf.Broker = stream.NewBroker()
-	for _, topic := range []string{"tweets", "waze", "crimes", "frames", "alerts"} {
+	for _, topic := range []string{"tweets", "waze", "crimes", "calls911", "frames", "alerts"} {
 		if err := inf.Broker.CreateTopic(topic, cfg.TopicPartitions); err != nil {
 			return nil, fmt.Errorf("boot broker: %w", err)
 		}
 	}
+	inf.Bus = inf.Broker
 	inf.DocDB = docstore.NewDatabase()
 	tweets := inf.DocDB.Collection("tweets")
 	tweets.CreateIndex("author")
 	tweets.CreateGeoIndex("loc")
 	inf.DocDB.Collection("waze").CreateGeoIndex("loc")
 	inf.DocDB.Collection("calls911").CreateGeoIndex("loc")
+	inf.DocDB.Collection("deadletter").CreateIndex("source")
+
+	// Resilience layer: one policy shared by every seam, backing off on a
+	// simulated clock anchored at the epoch so tests and experiments never
+	// sleep for real.
+	inf.Clock = retry.NewManualClock(cfg.Epoch)
+	inf.Breaker = retry.NewBreaker(retry.BreakerConfig{
+		FailureThreshold: 5, OpenTimeout: 40 * time.Millisecond, HalfOpenProbes: 2,
+	}, inf.Clock)
+	inf.Retry = retry.NewPolicy(retry.DefaultConfig(), cfg.Epoch.UnixNano()).
+		WithClock(inf.Clock).WithBreaker(inf.Breaker)
+	inf.RedriveRounds = 5
 
 	inf.CrimeTab, err = hbase.NewTable("crimes", []string{"meta", "persons"}, hbase.DefaultConfig(), inf.HDFS)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -10,14 +11,17 @@ import (
 	"repro/internal/docstore"
 	"repro/internal/flume"
 	"repro/internal/geo"
+	"repro/internal/retry"
 )
 
 // PipelineStats counts one ingestion run (Fig. 4 report).
 type PipelineStats struct {
-	Collected int // events produced by collectors
-	Streamed  int // records that crossed the broker
-	Stored    int // documents/cells written to NoSQL stores
-	Dropped   int
+	Collected    int // events produced by collectors
+	Streamed     int // records that crossed the broker
+	Stored       int // documents/cells written to NoSQL stores
+	Dropped      int // records lost outright — neither stored nor quarantined
+	DeadLettered int // records parked in the dead-letter collection for replay
+	Retries      int // delivery attempts beyond the first, across all seams
 }
 
 // storageGroup is the broker consumer group used by the storage tier.
@@ -26,37 +30,49 @@ const storageGroup = "storage-tier"
 // IngestTweets runs the Fig. 4 collection path for tweets: a Flume agent
 // pumps the collector output into the stream broker; the storage tier
 // drains the topic into the document store with geo and author indexes.
+//
+// The path degrades instead of dying: the agent delivers through the shared
+// retry policy into a per-event idempotent sink (a batch retry never
+// re-produces its successful prefix), batches that exhaust their retries are
+// parked in a dead-letter queue and redriven up to RedriveRounds times, and
+// records that cannot be decoded or stored are quarantined to the
+// dead-letter collection while the drain keeps going.
 func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats, error) {
+	stats := PipelineStats{Collected: len(tweets)}
+	retriesBefore := inf.Retry.Stats().Retries
+
 	events := make([]flume.Event, len(tweets))
 	for i, tw := range tweets {
 		body, err := json.Marshal(tw)
 		if err != nil {
 			return PipelineStats{}, fmt.Errorf("marshal tweet: %w", err)
 		}
-		events[i] = flume.Event{Headers: map[string]string{"author": tw.Author}, Body: body}
-	}
-	sink := flume.FuncSink(func(batch []flume.Event) error {
-		for _, e := range batch {
-			if _, _, err := inf.Broker.Produce("tweets", e.Headers["author"], e.Body); err != nil {
-				return err
-			}
+		events[i] = flume.Event{
+			Headers: map[string]string{"author": tw.Author, "id": tw.ID},
+			Body:    body,
 		}
-		return nil
-	})
-	agent := flume.NewAgent("twitter-collector", flume.NewSliceSource(events), sink, flume.Config{BatchSize: 64})
+	}
+	sink := flume.NewDedupSink(
+		func(e flume.Event) string { return e.Headers["id"] },
+		func(e flume.Event) error {
+			_, _, err := inf.Bus.Produce("tweets", e.Headers["author"], e.Body)
+			return err
+		},
+	)
+	dlq := retry.NewDLQ[flume.Event]()
+	agent := flume.NewAgent("twitter-collector", flume.NewSliceSource(events), sink,
+		flume.Config{BatchSize: 64, Retry: inf.Retry, DeadLetter: dlq})
 	for !agent.Drained() {
-		if _, err := agent.Pump(16); err != nil {
-			return PipelineStats{}, fmt.Errorf("flume pump: %w", err)
-		}
+		// A pump error means a batch exhausted its retries; those events are
+		// in the DLQ, and the agent has already moved past them.
+		_, _ = agent.Pump(16)
 	}
-	stats := PipelineStats{Collected: len(tweets)}
-	m := agent.Metrics()
-	stats.Dropped = m.Dropped
+	inf.redrive(dlq, sink, &stats, "tweets")
 
 	// Storage tier: drain broker into docstore.
 	col := inf.DocDB.Collection("tweets")
 	for {
-		recs, err := inf.Broker.Poll(storageGroup, "tweets", 256)
+		recs, err := inf.pollWithRetry(storageGroup, "tweets", 256)
 		if err != nil {
 			return stats, fmt.Errorf("poll tweets: %w", err)
 		}
@@ -67,38 +83,77 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 		for _, r := range recs {
 			var tw citydata.Tweet
 			if err := json.Unmarshal(r.Value, &tw); err != nil {
-				return stats, fmt.Errorf("decode tweet: %w", err)
+				inf.deadLetter(&stats, "tweets", "decode", r.Key, r.Value, err)
+				continue
 			}
 			doc := docstore.Document{
+				"id":       tw.ID,
 				"author":   tw.Author,
 				"text":     tw.Text,
 				"unixTime": float64(tw.Time.Unix()),
 				"loc":      tw.Location,
 			}
-			if _, err := col.Insert(doc); err != nil {
-				return stats, fmt.Errorf("store tweet: %w", err)
+			if err := inf.storeWithRedrive(col, doc); err != nil {
+				inf.deadLetter(&stats, "tweets", "store", tw.ID, r.Value, err)
+				continue
 			}
 			stats.Stored++
 		}
 	}
+	stats.Retries += inf.Retry.Stats().Retries - retriesBefore
 	return stats, nil
 }
 
-// IngestWaze streams crowd-sourced traffic reports into the document store.
+// redrive replays dead-lettered flume events through the idempotent sink.
+// Events still failing after RedriveRounds are quarantined; events the sink
+// already delivered are skipped by the dedup layer, so a redrive never
+// duplicates.
+func (inf *Infrastructure) redrive(dlq *retry.DLQ[flume.Event], sink *flume.DedupSink, stats *PipelineStats, source string) {
+	for round := 0; round < inf.RedriveRounds && dlq.Len() > 0; round++ {
+		for _, l := range dlq.Drain() {
+			attempts := 0
+			err := inf.Retry.Do(func() error {
+				attempts++
+				return sink.Deliver([]flume.Event{l.Item})
+			})
+			if err != nil {
+				dlq.Add(l.Item, err, l.Attempts+attempts)
+			}
+		}
+	}
+	for _, l := range dlq.Drain() {
+		inf.deadLetter(stats, source, "produce", l.Item.Headers["id"], l.Item.Body, errors.New(l.Cause))
+	}
+}
+
+// deadLetter quarantines one failed record and keeps the books: captured
+// records count as DeadLettered, records the quarantine itself cannot hold
+// count as Dropped.
+func (inf *Infrastructure) deadLetter(stats *PipelineStats, source, stage, key string, body []byte, cause error) {
+	if inf.quarantine(source, stage, key, body, cause) {
+		stats.DeadLettered++
+	} else {
+		stats.Dropped++
+	}
+}
+
+// IngestWaze streams crowd-sourced traffic reports into the document store,
+// with the same quarantine-and-continue semantics as the tweet path.
 func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineStats, error) {
 	stats := PipelineStats{Collected: len(reports)}
+	retriesBefore := inf.Retry.Stats().Retries
 	for _, r := range reports {
 		body, err := json.Marshal(r)
 		if err != nil {
 			return stats, fmt.Errorf("marshal waze: %w", err)
 		}
-		if _, _, err := inf.Broker.Produce("waze", string(r.Kind), body); err != nil {
-			return stats, fmt.Errorf("produce waze: %w", err)
+		if err := inf.produceWithRetry("waze", string(r.Kind), body); err != nil {
+			inf.deadLetter(&stats, "waze", "produce", r.ID, body, err)
 		}
 	}
 	col := inf.DocDB.Collection("waze")
 	for {
-		recs, err := inf.Broker.Poll(storageGroup, "waze", 256)
+		recs, err := inf.pollWithRetry(storageGroup, "waze", 256)
 		if err != nil {
 			return stats, fmt.Errorf("poll waze: %w", err)
 		}
@@ -109,9 +164,11 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 		for _, rec := range recs {
 			var r citydata.WazeReport
 			if err := json.Unmarshal(rec.Value, &r); err != nil {
-				return stats, fmt.Errorf("decode waze: %w", err)
+				inf.deadLetter(&stats, "waze", "decode", rec.Key, rec.Value, err)
+				continue
 			}
 			doc := docstore.Document{
+				"id":       r.ID,
 				"kind":     string(r.Kind),
 				"severity": r.Severity,
 				"speedKmh": r.SpeedKmh,
@@ -119,12 +176,14 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 				"loc":      r.Location,
 				"user":     r.UserReport,
 			}
-			if _, err := col.Insert(doc); err != nil {
-				return stats, fmt.Errorf("store waze: %w", err)
+			if err := inf.storeWithRedrive(col, doc); err != nil {
+				inf.deadLetter(&stats, "waze", "store", r.ID, rec.Value, err)
+				continue
 			}
 			stats.Stored++
 		}
 	}
+	stats.Retries += inf.Retry.Stats().Retries - retriesBefore
 	return stats, nil
 }
 
@@ -136,9 +195,21 @@ func crimeRowKey(inc citydata.Incident) string {
 
 // IngestCrimes writes incidents to the HBase crimes table (random-access
 // path) and archives the raw batch into HDFS (batch path) — both sides of
-// the paper's HDFS/HBase contrast.
+// the paper's HDFS/HBase contrast. Each cell write goes through the shared
+// retry policy; an incident whose writes keep failing is quarantined whole
+// and the batch continues.
 func (inf *Infrastructure) IngestCrimes(incidents []citydata.Incident, archivePath string) (PipelineStats, error) {
 	stats := PipelineStats{Collected: len(incidents)}
+	retriesBefore := inf.Retry.Stats().Retries
+	put := func(row, family, qualifier string, value []byte) error {
+		op := func() error { return inf.CrimeTab.Put(row, family, qualifier, value) }
+		err := inf.Retry.Do(op)
+		for round := 1; err != nil && round <= inf.RedriveRounds; round++ {
+			err = inf.Retry.Do(op)
+		}
+		return err
+	}
+incidents:
 	for _, inc := range incidents {
 		row := crimeRowKey(inc)
 		puts := map[string]string{
@@ -152,15 +223,19 @@ func (inf *Infrastructure) IngestCrimes(incidents []citydata.Incident, archivePa
 			"lon":      strconv.FormatFloat(inc.Location.Lon, 'f', 6, 64),
 		}
 		for q, v := range puts {
-			if err := inf.CrimeTab.Put(row, "meta", q, []byte(v)); err != nil {
-				return stats, fmt.Errorf("hbase put: %w", err)
+			if err := put(row, "meta", q, []byte(v)); err != nil {
+				raw, _ := json.Marshal(inc)
+				inf.deadLetter(&stats, "crimes", "hbase", inc.ReportNumber, raw, err)
+				continue incidents
 			}
 			stats.Stored++
 		}
 		for i, p := range inc.Persons {
 			v := p.Role + ":" + p.ID
-			if err := inf.CrimeTab.Put(row, "persons", strconv.Itoa(i), []byte(v)); err != nil {
-				return stats, fmt.Errorf("hbase persons put: %w", err)
+			if err := put(row, "persons", strconv.Itoa(i), []byte(v)); err != nil {
+				raw, _ := json.Marshal(inc)
+				inf.deadLetter(&stats, "crimes", "hbase", inc.ReportNumber, raw, err)
+				continue incidents
 			}
 			stats.Stored++
 		}
@@ -170,29 +245,60 @@ func (inf *Infrastructure) IngestCrimes(incidents []citydata.Incident, archivePa
 		if err != nil {
 			return stats, fmt.Errorf("marshal archive: %w", err)
 		}
-		if err := inf.HDFS.Write(archivePath, raw); err != nil {
+		if err := inf.Retry.Do(func() error { return inf.HDFS.Write(archivePath, raw) }); err != nil {
 			return stats, fmt.Errorf("archive crimes: %w", err)
 		}
 	}
+	stats.Retries += inf.Retry.Stats().Retries - retriesBefore
 	return stats, nil
 }
 
-// Ingest911 stores emergency calls into the document store.
+// Ingest911 streams emergency calls through the broker into the document
+// store — the same collection → stream → NoSQL path as tweets and waze,
+// rather than a side door straight into storage.
 func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, error) {
 	stats := PipelineStats{Collected: len(calls)}
-	col := inf.DocDB.Collection("calls911")
+	retriesBefore := inf.Retry.Stats().Retries
 	for _, c := range calls {
-		doc := docstore.Document{
-			"category": c.Category,
-			"priority": c.Priority,
-			"unixTime": float64(c.Time.Unix()),
-			"loc":      c.Location,
+		body, err := json.Marshal(c)
+		if err != nil {
+			return stats, fmt.Errorf("marshal 911: %w", err)
 		}
-		if _, err := col.Insert(doc); err != nil {
-			return stats, fmt.Errorf("store 911: %w", err)
+		if err := inf.produceWithRetry("calls911", c.Category, body); err != nil {
+			inf.deadLetter(&stats, "calls911", "produce", c.ID, body, err)
 		}
-		stats.Stored++
 	}
+	col := inf.DocDB.Collection("calls911")
+	for {
+		recs, err := inf.pollWithRetry(storageGroup, "calls911", 256)
+		if err != nil {
+			return stats, fmt.Errorf("poll 911: %w", err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		stats.Streamed += len(recs)
+		for _, rec := range recs {
+			var c citydata.Call911
+			if err := json.Unmarshal(rec.Value, &c); err != nil {
+				inf.deadLetter(&stats, "calls911", "decode", rec.Key, rec.Value, err)
+				continue
+			}
+			doc := docstore.Document{
+				"id":       c.ID,
+				"category": c.Category,
+				"priority": c.Priority,
+				"unixTime": float64(c.Time.Unix()),
+				"loc":      c.Location,
+			}
+			if err := inf.storeWithRedrive(col, doc); err != nil {
+				inf.deadLetter(&stats, "calls911", "store", c.ID, rec.Value, err)
+				continue
+			}
+			stats.Stored++
+		}
+	}
+	stats.Retries += inf.Retry.Stats().Retries - retriesBefore
 	return stats, nil
 }
 

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"repro/internal/docstore"
+	"repro/internal/faults"
+	"repro/internal/stream"
+)
+
+// EnableChaos attaches a deterministic fault injector to every storage and
+// streaming seam: the broker produce/poll surface, HDFS datanode I/O, the
+// HBase WAL/flush path, and docstore inserts. The pipelines keep running
+// through the shared retry policy — this is how experiment E18 stresses the
+// stack without touching pipeline code.
+func (inf *Infrastructure) EnableChaos(inj *faults.Injector) {
+	inf.Injector = inj
+	inf.Bus = faults.NewFlakyBus(inf.Broker, inj)
+	inf.HDFS.SetFaultHook(inj.HDFSHook())
+	inf.CrimeTab.SetFaultHook(inj.HBaseHook())
+	inf.VideoTab.SetFaultHook(inj.HBaseHook())
+	inf.storeFault = inj.StoreHook()
+}
+
+// DisableChaos detaches the injector and restores direct seams.
+func (inf *Infrastructure) DisableChaos() {
+	inf.Injector = nil
+	inf.Bus = inf.Broker
+	inf.HDFS.SetFaultHook(nil)
+	inf.CrimeTab.SetFaultHook(nil)
+	inf.VideoTab.SetFaultHook(nil)
+	inf.storeFault = nil
+}
+
+// produceWithRetry pushes one record through the bus under the shared
+// policy.
+func (inf *Infrastructure) produceWithRetry(topic, key string, body []byte) error {
+	return inf.Retry.Do(func() error {
+		_, _, err := inf.Bus.Produce(topic, key, body)
+		return err
+	})
+}
+
+// pollWithRetry reads from the bus under the shared policy. The flaky bus
+// decides faults before any offsets are committed, so retrying a failed poll
+// never skips records.
+func (inf *Infrastructure) pollWithRetry(group, topic string, max int) ([]stream.Record, error) {
+	var recs []stream.Record
+	err := inf.Retry.Do(func() error {
+		var e error
+		recs, e = inf.Bus.Poll(group, topic, max)
+		return e
+	})
+	return recs, err
+}
+
+// insertWithRetry writes one document under the shared policy, honoring the
+// chaos injector's store hook.
+func (inf *Infrastructure) insertWithRetry(col *docstore.Collection, doc docstore.Document) error {
+	return inf.Retry.Do(func() error {
+		if inf.storeFault != nil {
+			if err := inf.storeFault(); err != nil {
+				return err
+			}
+		}
+		_, err := col.Insert(doc)
+		return err
+	})
+}
+
+// storeWithRedrive gives a document insert the same second-chance structure
+// as dead-lettered produce batches: up to RedriveRounds additional policy
+// runs, so a fault burst or an open breaker window has to outlast every
+// round to defeat a write. Total attempts stay bounded by
+// MaxAttempts × (RedriveRounds + 1).
+func (inf *Infrastructure) storeWithRedrive(col *docstore.Collection, doc docstore.Document) error {
+	err := inf.insertWithRetry(col, doc)
+	for round := 1; err != nil && round <= inf.RedriveRounds; round++ {
+		err = inf.insertWithRetry(col, doc)
+	}
+	return err
+}
+
+// quarantine parks an undeliverable record in the dead-letter collection so
+// it can be inspected and replayed instead of being lost. It reports whether
+// the record was captured; the dead-letter store itself is not subject to
+// chaos (it is the thing that must not fail).
+func (inf *Infrastructure) quarantine(source, stage, key string, body []byte, cause error) bool {
+	doc := docstore.Document{
+		"source": source,
+		"stage":  stage,
+		"key":    key,
+		"body":   string(body),
+		"cause":  cause.Error(),
+	}
+	_, err := inf.DocDB.Collection("deadletter").Insert(doc)
+	return err == nil
+}
+
+// DeadLetters returns the quarantined records for one source ("" = all).
+func (inf *Infrastructure) DeadLetters(source string) ([]docstore.Document, error) {
+	col := inf.DocDB.Collection("deadletter")
+	if source == "" {
+		return col.Find(docstore.Query{})
+	}
+	return col.Find(docstore.Query{Conditions: []docstore.Condition{
+		docstore.Eq("source", source),
+	}})
+}

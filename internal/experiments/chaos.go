@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/citydata"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/faults"
+	"repro/internal/hdfs"
+	"repro/internal/retry"
+	"repro/internal/viz"
+)
+
+// chaosConfig shrinks the deployment so a full fault-rate sweep stays fast.
+func chaosConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Cameras = 30
+	cfg.Gang.Members = 120
+	cfg.Gang.Groups = 10
+	return cfg
+}
+
+// chaosArm runs one tweet-ingestion pass under an injector with the given
+// error rate and returns the pipeline stats plus the count of duplicated
+// documents. hardened=false strips the pipeline down to the naive baseline:
+// single attempts, no redrive, no breaker.
+func chaosArm(seed int64, rate float64, poisoned int, hardened bool) (core.PipelineStats, int, *core.Infrastructure, error) {
+	cfg := chaosConfig()
+	inf, err := core.New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return core.PipelineStats{}, 0, nil, err
+	}
+	if !hardened {
+		inf.Retry = retry.NewPolicy(retry.Config{MaxAttempts: 1, BaseDelay: time.Millisecond}, seed).
+			WithClock(inf.Clock)
+		inf.RedriveRounds = 0
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	incidents, err := citydata.GenerateCrimes(citydata.DefaultCrimeConfig(cfg.Epoch), inf.Gang.Nodes(), rng)
+	if err != nil {
+		return core.PipelineStats{}, 0, nil, err
+	}
+	tcfg := citydata.DefaultTweetConfig(cfg.Epoch)
+	tcfg.Count = 400
+	tweets, err := citydata.GenerateTweets(tcfg, incidents, inf.Gang, rng)
+	if err != nil {
+		return core.PipelineStats{}, 0, nil, err
+	}
+	// Poisoned records go straight onto the topic (past the chaos wrapper,
+	// so they always arrive) and must be quarantined by the drain.
+	for i := 0; i < poisoned; i++ {
+		if _, _, err := inf.Broker.Produce("tweets", "poison", []byte("{malformed")); err != nil {
+			return core.PipelineStats{}, 0, nil, err
+		}
+	}
+	inf.EnableChaos(faults.NewInjector(faults.Config{
+		Seed: seed, ErrorRate: rate, BurstLen: 2,
+		LatencyRate: 0.05, LatencySpikeMs: 20,
+	}))
+	stats, err := inf.IngestTweets(tweets)
+	if err != nil {
+		// The naive arm is allowed to die mid-drain; report what landed.
+		return stats, 0, inf, nil
+	}
+	docs, err := inf.DocDB.Collection("tweets").Find(docstore.Query{})
+	if err != nil {
+		return stats, 0, inf, err
+	}
+	ids := make(map[string]int)
+	dups := 0
+	for _, d := range docs {
+		if id, ok := d["id"].(string); ok {
+			ids[id]++
+			if ids[id] == 2 {
+				dups++
+			}
+		}
+	}
+	return stats, dups, inf, nil
+}
+
+// E18ChaosPipeline sweeps injected fault rates over the tweet ingestion path
+// and contrasts the hardened pipeline (shared retry policy + circuit breaker
+// + idempotent sink + dead-letter redrive) against a naive single-attempt
+// baseline. It also demonstrates the HDFS re-replication supervisor healing
+// a datanode failure. All backoff runs on the simulated clock; the sweep
+// never sleeps for real.
+func E18ChaosPipeline(rng *rand.Rand) (*Result, error) {
+	const poisoned = 5
+	rates := []float64{0.01, 0.05, 0.10, 0.20}
+
+	sweep := viz.NewTable("chaos sweep — 400 well-formed tweets + 5 poisoned records per cell",
+		"fault rate", "pipeline", "delivered", "duplicates", "dead-lettered", "dropped", "retries", "breaker opens", "injected errors")
+	var worstHardened *core.Infrastructure
+	for _, rate := range rates {
+		seed := rng.Int63()
+		hs, hdups, hinf, err := chaosArm(seed, rate, poisoned, true)
+		if err != nil {
+			return nil, err
+		}
+		if hs.Stored != 400 {
+			return nil, fmt.Errorf("E18: hardened pipeline delivered %d/400 at rate %.2f", hs.Stored, rate)
+		}
+		if hdups != 0 {
+			return nil, fmt.Errorf("E18: hardened pipeline duplicated %d records at rate %.2f", hdups, rate)
+		}
+		bs := hinf.Breaker.Stats()
+		tot := hinf.Injector.Totals()
+		sweep.AddRow(fmt.Sprintf("%.0f%%", rate*100), "hardened",
+			hs.Stored, hdups, hs.DeadLettered, hs.Dropped, hs.Retries, bs.Opened, tot.Errors)
+		worstHardened = hinf
+
+		ns, ndups, ninf, err := chaosArm(seed, rate, poisoned, false)
+		if err != nil {
+			return nil, err
+		}
+		ntot := ninf.Injector.Totals()
+		sweep.AddRow(fmt.Sprintf("%.0f%%", rate*100), "naive",
+			ns.Stored, ndups, ns.DeadLettered, ns.Dropped, ns.Retries, 0, ntot.Errors)
+	}
+
+	// Self-healing storage: fail a datanode under the worst-case survivor
+	// and let the supervisor repair replication instead of an operator.
+	inf := worstHardened
+	inf.DisableChaos()
+	for i := 0; i < 6; i++ {
+		blob := make([]byte, 8192)
+		rng.Read(blob)
+		if err := inf.HDFS.Write(fmt.Sprintf("/warehouse/e18/batch-%d", i), blob); err != nil {
+			return nil, err
+		}
+	}
+	heal := viz.NewTable("re-replication supervisor after datanode failure",
+		"stage", "under-replicated", "replicas created")
+	under, _ := inf.HDFS.UnderReplicated()
+	heal.AddRow("before failure", under, 0)
+	if err := inf.HDFS.FailDataNode("dn-0"); err != nil {
+		return nil, err
+	}
+	under, _ = inf.HDFS.UnderReplicated()
+	heal.AddRow("after failing dn-0", under, 0)
+	sup := hdfs.NewSupervisor(inf.HDFS, 0)
+	created, err := sup.Tick()
+	if err != nil {
+		return nil, err
+	}
+	under, _ = inf.HDFS.UnderReplicated()
+	heal.AddRow("after supervisor tick", under, created)
+	if under != 0 {
+		return nil, fmt.Errorf("E18: supervisor left %d blocks under-replicated", under)
+	}
+
+	return &Result{
+		ID: "E18", Title: "chaos sweep — fault injection vs retry/breaker/DLQ hardening",
+		Tables: []*viz.Table{sweep, heal},
+		Notes: []string{
+			"hardened pipeline delivers 400/400 well-formed records exactly once at every fault rate; poisoned records are quarantined, not fatal",
+			"naive single-attempt pipeline loses or strands records at the same rates and cannot quarantine around a drain failure",
+			fmt.Sprintf("all backoff on the simulated clock — %s of virtual sleep, zero wall-clock", worstHardened.Clock.Slept().Round(time.Millisecond)),
+		},
+	}, nil
+}

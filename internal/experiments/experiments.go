@@ -64,6 +64,7 @@ var registry = []registration{
 	{"E15", "§III.A — geospatial crime 'images' analyzed with CNNs", E15GeospatialCNN},
 	{"E16", "§V — opioid epidemic multi-source analytics (future work)", E16OpioidAnalytics},
 	{"E17", "§II.C — distributed graph analytics (PageRank, components)", E17GraphAnalytics},
+	{"E18", "robustness — chaos sweep vs retry/breaker/DLQ hardening", E18ChaosPipeline},
 }
 
 // IDs lists experiment ids in order.

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("registry has %d experiments, want 17 (E1..E17)", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (E1..E18)", len(ids))
 	}
 	titles := Titles()
 	for _, id := range ids {
@@ -120,3 +120,13 @@ func TestE15(t *testing.T) {
 
 func TestE16(t *testing.T) { runAndCheck(t, "E16") }
 func TestE17(t *testing.T) { runAndCheck(t, "E17") }
+
+func TestE18(t *testing.T) {
+	res := runAndCheck(t, "E18")
+	// The runner itself enforces 100% exactly-once delivery in the hardened
+	// arm and a fully healed cluster; reaching here means both held. Check
+	// the sweep shape: 4 rates × 2 arms.
+	if res.Tables[0].NumRows() != 8 {
+		t.Fatalf("sweep rows = %d", res.Tables[0].NumRows())
+	}
+}

@@ -99,7 +99,7 @@ func E3FogOffloadSweep(rng *rand.Rand) (*Result, error) {
 		cloud, early := baselines[1].res, baselines[2].res
 		notes = append(notes, fmt.Sprintf(
 			"paper claim (Fig. 3): splitting computation across tiers gives fast distributed analysis — early-exit cuts fog→server bytes %.1fx and mean latency %.1fx vs ship-everything",
-			float64(fogUpstream(cloud))/float64(maxInt(1, fogUpstream(early))),
+			float64(fogUpstream(cloud))/float64(max(1, fogUpstream(early))),
 			cloud.MeanMs/early.MeanMs))
 	}
 	return &Result{
@@ -109,9 +109,3 @@ func E3FogOffloadSweep(rng *rand.Rand) (*Result, error) {
 	}, nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

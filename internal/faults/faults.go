@@ -1,0 +1,254 @@
+// Package faults is a deterministic, seeded fault-injection substrate for
+// the ingestion and storage tiers. A single Injector decides, per named
+// operation, whether a call fails (with per-call error probability, error
+// bursts, and partition/blackout windows) or suffers a latency spike on the
+// simulated millisecond clock — the same virtual timeline the fog simulator
+// and the retry package use, so no test ever sleeps on the wall clock.
+//
+// Decorators adapt the injector to the existing seams: a flaky flume.Sink,
+// a flaky stream.Bus (the broker's produce/poll surface), and plain hook
+// functions for hdfs datanode I/O and hbase WAL/flush (those packages
+// declare structurally identical hook types so they need not import this
+// one). Everything is reproducible for a given Config.Seed.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/flume"
+	"repro/internal/stream"
+)
+
+// ErrInjected marks every failure produced by an Injector, so callers can
+// distinguish injected chaos from real bugs.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Config tunes an injector. All probabilities are per call.
+type Config struct {
+	// Seed drives every random decision; equal seeds replay identical
+	// fault schedules.
+	Seed int64
+	// ErrorRate is the probability a call starts a failure burst.
+	ErrorRate float64
+	// BurstLen is how many consecutive calls (per op) fail once a burst
+	// starts (<=1 means single failures).
+	BurstLen int
+	// LatencyRate is the probability a successful call suffers a spike.
+	LatencyRate float64
+	// LatencySpikeMs is the spike magnitude on the simulated clock.
+	LatencySpikeMs float64
+	// BlackoutEvery starts a partition/blackout window every Nth call to
+	// an op (0 disables): the next BlackoutLen calls to that op all fail,
+	// modeling a flaky fog uplink or a partitioned broker.
+	BlackoutEvery int
+	// BlackoutLen is the length of each blackout window in calls.
+	BlackoutLen int
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Err       error
+	LatencyMs float64
+}
+
+// OpStats counts injections for one named operation.
+type OpStats struct {
+	Calls         int
+	Errors        int
+	Blackouts     int // errors attributable to blackout windows
+	LatencySpikes int
+	LatencyMs     float64
+}
+
+// Injector makes deterministic fault decisions. Safe for concurrent use.
+type Injector struct {
+	mu           sync.Mutex
+	cfg          Config
+	rng          *rand.Rand
+	burstLeft    map[string]int
+	blackoutLeft map[string]int
+	stats        map[string]*OpStats
+}
+
+// NewInjector builds an injector from cfg.
+func NewInjector(cfg Config) *Injector {
+	if cfg.BurstLen < 1 {
+		cfg.BurstLen = 1
+	}
+	if cfg.BlackoutLen < 1 {
+		cfg.BlackoutLen = 1
+	}
+	return &Injector{
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		burstLeft:    make(map[string]int),
+		blackoutLeft: make(map[string]int),
+		stats:        make(map[string]*OpStats),
+	}
+}
+
+// Decide returns the fault (if any) for the next call to op.
+func (in *Injector) Decide(op string) Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.stats[op]
+	if !ok {
+		st = &OpStats{}
+		in.stats[op] = st
+	}
+	st.Calls++
+
+	if in.cfg.BlackoutEvery > 0 && st.Calls%in.cfg.BlackoutEvery == 0 {
+		in.blackoutLeft[op] = in.cfg.BlackoutLen
+	}
+	if in.blackoutLeft[op] > 0 {
+		in.blackoutLeft[op]--
+		st.Errors++
+		st.Blackouts++
+		return Fault{Err: fmt.Errorf("%w: blackout window on %s (call %d)", ErrInjected, op, st.Calls)}
+	}
+	if in.burstLeft[op] > 0 {
+		in.burstLeft[op]--
+		st.Errors++
+		return Fault{Err: fmt.Errorf("%w: burst failure on %s (call %d)", ErrInjected, op, st.Calls)}
+	}
+	if in.cfg.ErrorRate > 0 && in.rng.Float64() < in.cfg.ErrorRate {
+		in.burstLeft[op] = in.cfg.BurstLen - 1
+		st.Errors++
+		return Fault{Err: fmt.Errorf("%w: failure on %s (call %d)", ErrInjected, op, st.Calls)}
+	}
+	var f Fault
+	if in.cfg.LatencyRate > 0 && in.rng.Float64() < in.cfg.LatencyRate {
+		f.LatencyMs = in.cfg.LatencySpikeMs * (0.5 + in.rng.Float64())
+		st.LatencySpikes++
+		st.LatencyMs += f.LatencyMs
+	}
+	return f
+}
+
+// Stats returns a snapshot of per-op counters.
+func (in *Injector) Stats() map[string]OpStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]OpStats, len(in.stats))
+	for op, st := range in.stats {
+		out[op] = *st
+	}
+	return out
+}
+
+// Ops lists the operation names seen so far, sorted.
+func (in *Injector) Ops() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, 0, len(in.stats))
+	for op := range in.stats {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Totals aggregates counters across every op.
+func (in *Injector) Totals() OpStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var t OpStats
+	for _, st := range in.stats {
+		t.Calls += st.Calls
+		t.Errors += st.Errors
+		t.Blackouts += st.Blackouts
+		t.LatencySpikes += st.LatencySpikes
+		t.LatencyMs += st.LatencyMs
+	}
+	return t
+}
+
+// FlakySink wraps a flume sink: each Deliver consults the injector first,
+// so batches see broker-side failures before any event is produced.
+type FlakySink struct {
+	op    string
+	inner flume.Sink
+	inj   *Injector
+}
+
+var _ flume.Sink = (*FlakySink)(nil)
+
+// NewFlakySink decorates inner; faults are charged to the named op.
+func NewFlakySink(op string, inner flume.Sink, inj *Injector) *FlakySink {
+	return &FlakySink{op: op, inner: inner, inj: inj}
+}
+
+// Deliver injects, then forwards to the wrapped sink.
+func (s *FlakySink) Deliver(events []flume.Event) error {
+	if f := s.inj.Decide(s.op); f.Err != nil {
+		return f.Err
+	}
+	return s.inner.Deliver(events)
+}
+
+// FlakyBus wraps a stream.Bus with injected produce/poll failures.
+type FlakyBus struct {
+	inner stream.Bus
+	inj   *Injector
+}
+
+var _ stream.Bus = (*FlakyBus)(nil)
+
+// NewFlakyBus decorates a bus (typically the *stream.Broker itself).
+func NewFlakyBus(inner stream.Bus, inj *Injector) *FlakyBus {
+	return &FlakyBus{inner: inner, inj: inj}
+}
+
+// Produce injects on the "bus.produce" op, then forwards.
+func (b *FlakyBus) Produce(topic, key string, value []byte) (int, int64, error) {
+	if f := b.inj.Decide("bus.produce"); f.Err != nil {
+		return 0, 0, f.Err
+	}
+	return b.inner.Produce(topic, key, value)
+}
+
+// Poll injects on the "bus.poll" op, then forwards.
+func (b *FlakyBus) Poll(group, topic string, max int) ([]stream.Record, error) {
+	if f := b.inj.Decide("bus.poll"); f.Err != nil {
+		return nil, f.Err
+	}
+	return b.inner.Poll(group, topic, max)
+}
+
+// HDFSHook adapts the injector to hdfs.Cluster.SetFaultHook: one decision
+// per replica I/O, charged to "hdfs.<op>".
+func (in *Injector) HDFSHook() func(op, node string) error {
+	return func(op, node string) error {
+		if f := in.Decide("hdfs." + op); f.Err != nil {
+			return fmt.Errorf("datanode %s: %w", node, f.Err)
+		}
+		return nil
+	}
+}
+
+// HBaseHook adapts the injector to hbase.Table.SetFaultHook: one decision
+// per WAL append or flush, charged to "hbase.<op>".
+func (in *Injector) HBaseHook() func(op string) error {
+	return func(op string) error {
+		if f := in.Decide("hbase." + op); f.Err != nil {
+			return f.Err
+		}
+		return nil
+	}
+}
+
+// StoreHook adapts the injector to the document-store drain ("store" op),
+// modeling transient NoSQL write failures.
+func (in *Injector) StoreHook() func() error {
+	return func() error {
+		if f := in.Decide("store.insert"); f.Err != nil {
+			return f.Err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/flume"
+	"repro/internal/stream"
+)
+
+// schedule replays n decisions for one op and returns the error pattern.
+func schedule(cfg Config, op string, n int) []bool {
+	inj := NewInjector(cfg)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = inj.Decide(op).Err != nil
+	}
+	return out
+}
+
+func TestInjectorIsDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 11, ErrorRate: 0.3, BurstLen: 2, LatencyRate: 0.2, LatencySpikeMs: 10}
+	a := schedule(cfg, "x", 200)
+	b := schedule(cfg, "x", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 12
+	c := schedule(cfg2, "x", 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestBurstsFailConsecutively(t *testing.T) {
+	// ErrorRate 1 with BurstLen 3: every call fails, and the first burst
+	// accounts for calls 1-3.
+	inj := NewInjector(Config{Seed: 1, ErrorRate: 1, BurstLen: 3})
+	for i := 0; i < 6; i++ {
+		if f := inj.Decide("op"); !errors.Is(f.Err, ErrInjected) {
+			t.Fatalf("call %d: err = %v", i, f.Err)
+		}
+	}
+	if st := inj.Stats()["op"]; st.Errors != 6 || st.Calls != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBlackoutWindows(t *testing.T) {
+	// No random errors; every 10th call opens a 3-call blackout.
+	inj := NewInjector(Config{Seed: 2, BlackoutEvery: 10, BlackoutLen: 3})
+	var failed []int
+	for i := 1; i <= 25; i++ {
+		if inj.Decide("link").Err != nil {
+			failed = append(failed, i)
+		}
+	}
+	want := []int{10, 11, 12, 20, 21, 22}
+	if len(failed) != len(want) {
+		t.Fatalf("failed calls = %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("failed calls = %v, want %v", failed, want)
+		}
+	}
+	if st := inj.Stats()["link"]; st.Blackouts != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLatencySpikesAccumulateOnSimClock(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, LatencyRate: 1, LatencySpikeMs: 10})
+	total := 0.0
+	for i := 0; i < 50; i++ {
+		f := inj.Decide("op")
+		if f.Err != nil {
+			t.Fatalf("unexpected error: %v", f.Err)
+		}
+		if f.LatencyMs < 5 || f.LatencyMs > 15 {
+			t.Fatalf("spike %v outside [5ms, 15ms]", f.LatencyMs)
+		}
+		total += f.LatencyMs
+	}
+	st := inj.Stats()["op"]
+	if st.LatencySpikes != 50 || st.LatencyMs != total {
+		t.Fatalf("stats = %+v (total %v)", st, total)
+	}
+}
+
+func TestFlakySinkAndBus(t *testing.T) {
+	inj := NewInjector(Config{Seed: 4, ErrorRate: 1})
+	delivered := 0
+	sink := NewFlakySink("sink", flume.FuncSink(func(ev []flume.Event) error {
+		delivered += len(ev)
+		return nil
+	}), inj)
+	if err := sink.Deliver([]flume.Event{{}}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if delivered != 0 {
+		t.Fatal("inner sink reached despite injection")
+	}
+
+	broker := stream.NewBroker()
+	if err := broker.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	bus := NewFlakyBus(broker, NewInjector(Config{Seed: 5, ErrorRate: 1}))
+	if _, _, err := bus.Produce("t", "k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("produce err = %v", err)
+	}
+	if _, err := bus.Poll("g", "t", 10); !errors.Is(err, ErrInjected) {
+		t.Fatalf("poll err = %v", err)
+	}
+	// A clean injector passes calls through untouched.
+	clean := NewFlakyBus(broker, NewInjector(Config{Seed: 6}))
+	if _, _, err := clean.Produce("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := clean.Poll("g", "t", 10)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("poll = %v, %v", recs, err)
+	}
+}
+
+func TestHooksChargeNamespacedOps(t *testing.T) {
+	inj := NewInjector(Config{Seed: 7, ErrorRate: 1})
+	if err := inj.HDFSHook()("read", "dn-0"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hdfs hook err = %v", err)
+	}
+	if err := inj.HBaseHook()("wal"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hbase hook err = %v", err)
+	}
+	if err := inj.StoreHook()(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("store hook err = %v", err)
+	}
+	stats := inj.Stats()
+	for _, op := range []string{"hdfs.read", "hbase.wal", "store.insert"} {
+		if stats[op].Errors != 1 {
+			t.Fatalf("op %s stats = %+v", op, stats[op])
+		}
+	}
+	totals := inj.Totals()
+	if totals.Calls != 3 || totals.Errors != 3 {
+		t.Fatalf("totals = %+v", totals)
+	}
+}

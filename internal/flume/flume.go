@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // Sentinel errors.
@@ -87,7 +89,17 @@ func (f FuncSink) Deliver(events []Event) error { return f(events) }
 type Config struct {
 	ChannelCapacity int
 	BatchSize       int
-	MaxRetries      int
+	// MaxRetries is the legacy fixed retry count, used only when Retry is
+	// nil.
+	MaxRetries int
+	// Retry, when set, replaces the fixed retry loop with the shared
+	// policy engine (exponential backoff with seeded jitter on an
+	// injectable clock, optional budget and circuit breaker).
+	Retry *retry.Policy
+	// DeadLetter, when set, receives the events of batches that exhaust
+	// their retries instead of losing them silently; callers can inspect
+	// or redrive the queue.
+	DeadLetter *retry.DLQ[Event]
 }
 
 // DefaultConfig returns Flume-like defaults scaled for simulation.
@@ -184,23 +196,50 @@ func (a *Agent) drainLocked() (delivered int, err error) {
 		n = len(a.buffer)
 	}
 	batch := a.buffer[:n]
-	var lastErr error
-	for attempt := 0; attempt <= a.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			a.metrics.Retries++
-		}
-		if lastErr = a.sink.Deliver(batch); lastErr == nil {
-			a.buffer = a.buffer[n:]
-			a.metrics.Delivered += n
-			return n, nil
-		}
+	attempts, lastErr := a.deliverBatch(batch)
+	a.metrics.Retries += attempts - 1
+	if lastErr == nil {
+		a.buffer = a.buffer[n:]
+		a.metrics.Delivered += n
+		return n, nil
 	}
-	// Exhausted retries: drop the batch to keep the pipeline moving, as a
+	// Exhausted retries: move the batch out of the channel to keep the
+	// pipeline draining. With a dead-letter queue configured the events are
+	// parked there for later redrive; otherwise they are dropped, as a
 	// Flume channel with a failing sink would eventually do via transaction
 	// rollback + overflow.
 	a.buffer = a.buffer[n:]
 	a.metrics.Dropped += n
+	if a.cfg.DeadLetter != nil {
+		for _, e := range batch {
+			a.cfg.DeadLetter.Add(e, lastErr, attempts)
+		}
+	}
 	return 0, fmt.Errorf("deliver batch on %s: %w", a.name, lastErr)
+}
+
+// deliverBatch pushes one batch through the sink, via the shared retry
+// policy when configured or the legacy fixed-count loop otherwise. It
+// returns how many attempts ran and the final error (nil on success).
+func (a *Agent) deliverBatch(batch []Event) (attempts int, err error) {
+	if a.cfg.Retry != nil {
+		err = a.cfg.Retry.Do(func() error {
+			attempts++
+			return a.sink.Deliver(batch)
+		})
+		if attempts == 0 {
+			// Every attempt was short-circuited by an open breaker.
+			attempts = 1
+		}
+		return attempts, err
+	}
+	for attempt := 0; attempt <= a.cfg.MaxRetries; attempt++ {
+		attempts++
+		if err = a.sink.Deliver(batch); err == nil {
+			return attempts, nil
+		}
+	}
+	return attempts, err
 }
 
 // Pump synchronously moves up to batches source batches through the agent.

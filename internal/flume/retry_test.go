@@ -1,0 +1,158 @@
+package flume
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+)
+
+// TestRetryExhaustionDeadLetters verifies the satellite requirement: a sink
+// that never recovers sends its events to the dead-letter queue with full
+// accounting, and the agent keeps draining instead of wedging.
+func TestRetryExhaustionDeadLetters(t *testing.T) {
+	clk := retry.NewManualClock(time.Time{})
+	policy := retry.NewPolicy(retry.Config{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, Multiplier: 2}, 1).WithClock(clk)
+	dlq := retry.NewDLQ[Event]()
+
+	down := errors.New("sink down")
+	deliveries := 0
+	sink := FuncSink(func(events []Event) error { deliveries++; return down })
+	a := NewAgent("dlq", NewSliceSource(makeEvents(10)), sink, Config{
+		BatchSize: 5, Retry: policy, DeadLetter: dlq,
+	})
+	for !a.Drained() {
+		if _, err := a.Pump(4); err == nil {
+			t.Fatal("expected delivery errors")
+		}
+	}
+	m := a.Metrics()
+	if m.Dropped != 10 || m.Delivered != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// 2 batches × 3 attempts each.
+	if deliveries != 6 {
+		t.Fatalf("deliveries = %d", deliveries)
+	}
+	if m.Retries != 4 {
+		t.Fatalf("retries = %d", m.Retries)
+	}
+	if dlq.Len() != 10 {
+		t.Fatalf("dead letters = %d", dlq.Len())
+	}
+	for _, l := range dlq.Letters() {
+		if l.Attempts != 3 || l.Cause != down.Error() {
+			t.Fatalf("letter = %+v", l)
+		}
+	}
+	// Backoff ran on the simulated clock only: 2 batches × (5+10)ms.
+	if clk.Slept() == 0 {
+		t.Fatal("no simulated backoff recorded")
+	}
+}
+
+// TestRetryPolicyRecoversMidway: a sink that heals after two failures
+// delivers everything with the shared policy and nothing is dead-lettered.
+func TestRetryPolicyRecoversMidway(t *testing.T) {
+	policy := retry.NewPolicy(retry.Config{MaxAttempts: 5, BaseDelay: time.Millisecond}, 2)
+	dlq := retry.NewDLQ[Event]()
+	fails := 2
+	got := 0
+	sink := FuncSink(func(events []Event) error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient")
+		}
+		got += len(events)
+		return nil
+	})
+	a := NewAgent("heal", NewSliceSource(makeEvents(8)), sink, Config{BatchSize: 4, Retry: policy, DeadLetter: dlq})
+	for !a.Drained() {
+		if _, err := a.Pump(2); err != nil {
+			t.Fatalf("pump err despite recovery: %v", err)
+		}
+	}
+	if got != 8 || dlq.Len() != 0 {
+		t.Fatalf("delivered %d, dlq %d", got, dlq.Len())
+	}
+	if m := a.Metrics(); m.Delivered != 8 || m.Retries != 2 || m.Dropped != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestDedupSinkIdempotentPerEvent: a mid-batch failure must not redeliver
+// the successful prefix when the batch is retried.
+func TestDedupSinkIdempotentPerEvent(t *testing.T) {
+	delivered := make(map[string]int)
+	failOn := "3"
+	sink := NewDedupSink(
+		func(e Event) string { return e.Headers["id"] },
+		func(e Event) error {
+			id := e.Headers["id"]
+			if id == failOn {
+				return fmt.Errorf("event %s rejected", id)
+			}
+			delivered[id]++
+			return nil
+		},
+	)
+	batch := make([]Event, 5)
+	for i := range batch {
+		batch[i] = Event{Headers: map[string]string{"id": strconv.Itoa(i)}}
+	}
+	if err := sink.Deliver(batch); err == nil {
+		t.Fatal("expected mid-batch failure")
+	}
+	// Retry with the fault cleared: only 3 and 4 get delivered.
+	failOn = ""
+	if err := sink.Deliver(batch); err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range delivered {
+		if n != 1 {
+			t.Fatalf("event %s delivered %d times", id, n)
+		}
+	}
+	if len(delivered) != 5 {
+		t.Fatalf("delivered %d distinct events", len(delivered))
+	}
+	if sink.Skipped() != 3 || sink.Delivered() != 5 {
+		t.Fatalf("skipped=%d delivered=%d", sink.Skipped(), sink.Delivered())
+	}
+}
+
+// TestAgentWithDedupSinkNoDuplicates runs the full agent path against a
+// flaky per-event sink and checks exactly-once delivery of every event.
+func TestAgentWithDedupSinkNoDuplicates(t *testing.T) {
+	policy := retry.NewPolicy(retry.Config{MaxAttempts: 6, BaseDelay: time.Millisecond}, 3)
+	counts := make(map[string]int)
+	calls := 0
+	sink := NewDedupSink(
+		func(e Event) string { return string(e.Body) },
+		func(e Event) error {
+			calls++
+			if calls%4 == 0 { // deterministic periodic failure mid-stream
+				return errors.New("flaky")
+			}
+			counts[string(e.Body)]++
+			return nil
+		},
+	)
+	a := NewAgent("dedup", NewSliceSource(makeEvents(30)), sink, Config{BatchSize: 7, Retry: policy})
+	for !a.Drained() {
+		if _, err := a.Pump(4); err != nil {
+			t.Fatalf("pump: %v", err)
+		}
+	}
+	if len(counts) != 30 {
+		t.Fatalf("distinct events delivered = %d", len(counts))
+	}
+	for id, n := range counts {
+		if n != 1 {
+			t.Fatalf("event %s delivered %d times", id, n)
+		}
+	}
+}

@@ -266,7 +266,7 @@ func (t *Topology) Run(jobs []Job) (*Results, error) {
 				return nil, fmt.Errorf("job %s step %d: %w", st.job.ID, st.stepIdx, err)
 			}
 			r := nodeRes[s.NodeID]
-			start := maxf(st.readyAt, r.freeAt)
+			start := max(st.readyAt, r.freeAt)
 			dur := s.Ops / node.OpsPerMs
 			end = start + dur
 			r.freeAt = end
@@ -283,7 +283,7 @@ func (t *Topology) Run(jobs []Job) (*Results, error) {
 			}
 			key := s.From + "→" + s.To
 			r := linkRes[key]
-			start := maxf(st.readyAt, r.freeAt)
+			start := max(st.readyAt, r.freeAt)
 			dur := link.LatencyMs + float64(s.Bytes)/link.BytesPerMs
 			end = start + dur
 			r.freeAt = end
@@ -330,9 +330,3 @@ func (t *Topology) Run(jobs []Job) (*Results, error) {
 	return res, nil
 }
 
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}

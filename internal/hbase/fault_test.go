@@ -1,0 +1,126 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestWALFaultRejectsMutationAtomically: a faulted WAL append must leave no
+// trace of the mutation, so callers can retry safely.
+func TestWALFaultRejectsMutationAtomically(t *testing.T) {
+	tb := newTestTable(t, DefaultConfig())
+	if err := tb.Put("r1", "meta", "q", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	walErr := errors.New("disk gone")
+	tb.SetFaultHook(func(op string) error {
+		if op == "wal" {
+			return walErr
+		}
+		return nil
+	})
+	if err := tb.Put("r2", "meta", "q", []byte("lost")); !errors.Is(err, walErr) {
+		t.Fatalf("put err = %v", err)
+	}
+	if err := tb.Delete("r1", "meta", "q"); !errors.Is(err, walErr) {
+		t.Fatalf("delete err = %v", err)
+	}
+	st := tb.Stats()
+	if st.WALEntries != 1 || st.MemstoreCells != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := tb.Get("r2", "meta", "q"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rejected put is visible: %v", err)
+	}
+	// Clear the hook and retry: the mutation applies cleanly.
+	tb.SetFaultHook(nil)
+	if err := tb.Put("r2", "meta", "q", []byte("retried")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tb.Get("r2", "meta", "q")
+	if err != nil || string(got) != "retried" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+}
+
+// TestFlushFaultKeepsMemstoreIntact: a failed flush loses nothing — the
+// memstore and WAL survive so a later flush can retry.
+func TestFlushFaultKeepsMemstoreIntact(t *testing.T) {
+	tb := newTestTable(t, DefaultConfig())
+	for i := 0; i < 10; i++ {
+		if err := tb.Put(fmt.Sprintf("r%02d", i), "meta", "q", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushErr := errors.New("datanode partition")
+	tb.SetFaultHook(func(op string) error {
+		if op == "flush" {
+			return flushErr
+		}
+		return nil
+	})
+	if err := tb.Flush(); !errors.Is(err, flushErr) {
+		t.Fatalf("flush err = %v", err)
+	}
+	st := tb.Stats()
+	if st.MemstoreCells != 10 || st.WALEntries != 10 || st.Flushes != 0 || st.StoreFiles != 0 {
+		t.Fatalf("stats after failed flush = %+v", st)
+	}
+	// All data still readable from the memstore.
+	if got, err := tb.Get("r05", "meta", "q"); err != nil || string(got) != "v" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	tb.SetFaultHook(nil)
+	if err := tb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = tb.Stats()
+	if st.MemstoreCells != 0 || st.Flushes != 1 || st.StoreFiles != 1 {
+		t.Fatalf("stats after retried flush = %+v", st)
+	}
+	if got, err := tb.Get("r05", "meta", "q"); err != nil || string(got) != "v" {
+		t.Fatalf("get after flush = %q, %v", got, err)
+	}
+}
+
+// TestFlushFaultDuringPutThresholdCrossing: the put that trips the flush
+// threshold reports the flush failure, but the cell itself is durable in the
+// WAL and recoverable — matching HBase, where the write succeeded and the
+// region just failed to flush.
+func TestFlushFaultDuringPutThresholdCrossing(t *testing.T) {
+	tb := newTestTable(t, Config{FlushThreshold: 3, CompactThreshold: 4})
+	flushErr := errors.New("hdfs down")
+	tb.SetFaultHook(func(op string) error {
+		if op == "flush" {
+			return flushErr
+		}
+		return nil
+	})
+	for i := 0; i < 2; i++ {
+		if err := tb.Put(fmt.Sprintf("r%d", i), "meta", "q", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Put("r2", "meta", "q", []byte("v")); !errors.Is(err, flushErr) {
+		t.Fatalf("threshold-crossing put err = %v", err)
+	}
+	// The cell is in memstore + WAL despite the flush failure.
+	if got, err := tb.Get("r2", "meta", "q"); err != nil || string(got) != "v" {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	replayed, err := tb.CrashAndRecover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 3 {
+		t.Fatalf("replayed = %d", replayed)
+	}
+	tb.SetFaultHook(nil)
+	if err := tb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tb.Get("r2", "meta", "q"); err != nil || string(got) != "v" {
+		t.Fatalf("get after recovery = %q, %v", got, err)
+	}
+}

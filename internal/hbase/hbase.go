@@ -27,6 +27,13 @@ var (
 	ErrClosed   = errors.New("hbase: table closed")
 )
 
+// FaultHook is consulted before durability-critical I/O: op is "wal" for
+// write-ahead-log appends and "flush" for store-file persistence. A non-nil
+// return aborts the operation with that error. The signature is structurally
+// shared with the internal/faults injector so chaos harnesses can attach
+// without this package importing them.
+type FaultHook func(op string) error
+
 // Cell is one versioned value.
 type Cell struct {
 	Row       string
@@ -75,6 +82,7 @@ type Table struct {
 	fileSeq  int
 	clock    int64
 	closed   bool
+	hook     FaultHook
 
 	// Metrics.
 	flushes     int
@@ -109,6 +117,20 @@ func NewTable(name string, families []string, cfg Config, fs *hdfs.Cluster) (*Ta
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
+// SetFaultHook installs (or clears, with nil) the fault hook.
+func (t *Table) SetFaultHook(h FaultHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hook = h
+}
+
+func (t *Table) faultLocked(op string) error {
+	if t.hook == nil {
+		return nil
+	}
+	return t.hook(op)
+}
+
 // Put writes one cell.
 func (t *Table) Put(row, family, qualifier string, value []byte) error {
 	t.mu.Lock()
@@ -142,6 +164,12 @@ func (t *Table) Delete(row, family, qualifier string) error {
 }
 
 func (t *Table) applyLocked(c Cell) error {
+	// The WAL append is the durability point: if it faults, the mutation is
+	// rejected whole — nothing reaches the memstore, so a caller can safely
+	// retry the Put/Delete.
+	if err := t.faultLocked("wal"); err != nil {
+		return fmt.Errorf("wal append %s: %w", t.name, err)
+	}
 	t.wal = append(t.wal, c)
 	key := cellKey(c.Row, c.Family, c.Qualifier)
 	t.memstore[key] = append([]Cell{c}, t.memstore[key]...)
@@ -203,6 +231,9 @@ func sortCells(cells []Cell) {
 }
 
 func (t *Table) persistStoreFile(cells []Cell) (*storeFile, error) {
+	if err := t.faultLocked("flush"); err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(cells); err != nil {
 		return nil, fmt.Errorf("encode storefile: %w", err)

@@ -55,6 +55,11 @@ type fileMeta struct {
 	size   int
 }
 
+// FaultHook lets chaos experiments inject datanode I/O failures: it is
+// consulted once per replica operation ("read", "write", "replicate") with
+// the target node id; a non-nil error makes that replica operation fail.
+type FaultHook func(op, node string) error
+
 // Cluster is the simulated HDFS deployment. All methods are safe for
 // concurrent use.
 type Cluster struct {
@@ -65,6 +70,7 @@ type Cluster struct {
 	nodes     map[string]*dataNode
 	files     map[string]*fileMeta
 	blocks    map[BlockID]*blockMeta
+	hook      FaultHook
 }
 
 // NewCluster creates an empty cluster. rng drives replica placement
@@ -87,6 +93,21 @@ func NewCluster(cfg Config, rng *rand.Rand) *Cluster {
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// SetFaultHook installs (or clears, with nil) the datanode I/O fault hook.
+func (c *Cluster) SetFaultHook(h FaultHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = h
+}
+
+// faultLocked consults the hook; callers hold c.mu.
+func (c *Cluster) faultLocked(op, node string) error {
+	if c.hook == nil {
+		return nil
+	}
+	return c.hook(op, node)
+}
 
 // AddDataNode registers a datanode.
 func (c *Cluster) AddDataNode(id string) error {
@@ -158,12 +179,32 @@ func (c *Cluster) placeBlock(chunk []byte) (BlockID, error) {
 	bid := c.nextBlock
 	c.nextBlock++
 	meta := &blockMeta{id: bid, length: len(chunk), replicas: make(map[string]struct{}, c.cfg.Replication)}
-	for i := 0; i < c.cfg.Replication; i++ {
-		n := targets[i]
+	var lastFault error
+	for _, n := range targets {
+		if len(meta.replicas) >= c.cfg.Replication {
+			break
+		}
+		// A faulted replica write skips the node and tries the next
+		// candidate, as the real write pipeline re-forms around a bad
+		// datanode.
+		if err := c.faultLocked("write", n.id); err != nil {
+			lastFault = err
+			continue
+		}
 		buf := make([]byte, len(chunk))
 		copy(buf, chunk)
 		n.blocks[bid] = buf
 		meta.replicas[n.id] = struct{}{}
+	}
+	if len(meta.replicas) < c.cfg.Replication {
+		// Undo partial placements; the caller retries the whole block.
+		for nid := range meta.replicas {
+			delete(c.nodes[nid].blocks, bid)
+		}
+		if lastFault != nil {
+			return 0, fmt.Errorf("%w: %d/%d replicas placed (%v)", ErrNotEnoughNodes, len(meta.replicas), c.cfg.Replication, lastFault)
+		}
+		return 0, fmt.Errorf("%w: %d/%d replicas placed", ErrNotEnoughNodes, len(meta.replicas), c.cfg.Replication)
 	}
 	c.blocks[bid] = meta
 	return bid, nil
@@ -195,15 +236,27 @@ func (c *Cluster) Read(path string) ([]byte, error) {
 		meta := c.blocks[bid]
 		var chunk []byte
 		found := false
+		var lastFault error
 		for nid := range meta.replicas {
 			n := c.nodes[nid]
-			if n != nil && n.alive {
-				chunk = n.blocks[bid]
-				found = true
-				break
+			if n == nil || !n.alive {
+				continue
 			}
+			// A faulted replica read fails over to the next replica.
+			if err := c.faultLocked("read", nid); err != nil {
+				lastFault = err
+				continue
+			}
+			chunk = n.blocks[bid]
+			found = true
+			break
 		}
 		if !found {
+			if lastFault != nil {
+				// Replicas exist but every read faulted: transient, the
+				// caller's retry policy re-reads.
+				return nil, fmt.Errorf("read %s block %d: %w", path, i, lastFault)
+			}
 			return nil, fmt.Errorf("%w: %s block %d", ErrDataLoss, path, i)
 		}
 		out = append(out, chunk...)
@@ -264,8 +317,9 @@ func (c *Cluster) Stat(path string) (FileInfo, error) {
 	return FileInfo{Path: path, Size: f.size, Blocks: len(f.blocks)}, nil
 }
 
-// FailDataNode marks a node dead; its replicas become unavailable until
-// ReplicateMissing restores them elsewhere.
+// FailDataNode marks a node dead. Its replicas become unreachable (and are
+// deregistered from every block) until either ReplicateMissing restores
+// them elsewhere or ReviveDataNode brings the node — data intact — back.
 func (c *Cluster) FailDataNode(id string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -277,21 +331,46 @@ func (c *Cluster) FailDataNode(id string) error {
 	for bid := range n.blocks {
 		delete(c.blocks[bid].replicas, id)
 	}
-	n.blocks = make(map[BlockID][]byte)
+	// The node keeps its block data: a failed machine is unreachable, not
+	// wiped. ReviveDataNode reconciles the surviving copies via a block
+	// report.
 	return nil
 }
 
-// ReviveDataNode brings a previously failed node back (empty, as if
-// re-imaged); the namenode treats it as a fresh placement target.
-func (c *Cluster) ReviveDataNode(id string) error {
+// ReviveDataNode brings a failed node back and processes its block report:
+// stale copies of deleted blocks are discarded, copies of blocks that were
+// already re-replicated back to full strength elsewhere are discarded (a
+// replica must never be double-counted), and copies of still
+// under-replicated blocks are re-registered. It returns how many replicas
+// the report restored.
+func (c *Cluster) ReviveDataNode(id string) (restored int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n, ok := c.nodes[id]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoDataNode, id)
+		return 0, fmt.Errorf("%w: %s", ErrNoDataNode, id)
 	}
 	n.alive = true
-	return nil
+	for bid := range n.blocks {
+		meta, live := c.blocks[bid]
+		if !live {
+			// The file was deleted while the node was down.
+			delete(n.blocks, bid)
+			continue
+		}
+		if _, has := meta.replicas[id]; has {
+			continue
+		}
+		if len(meta.replicas) >= c.cfg.Replication {
+			// ReplicateMissing already healed this block elsewhere; the
+			// revived copy is redundant and dropped.
+			delete(n.blocks, bid)
+			continue
+		}
+		meta.replicas[id] = struct{}{}
+		restored++
+	}
+	return restored, nil
 }
 
 // UnderReplicated returns the number of blocks with fewer live replicas than
@@ -339,17 +418,23 @@ func (c *Cluster) ReplicateMissing() (created int, err error) {
 			if src == nil {
 				return created, fmt.Errorf("%w: block %d has no live source", ErrDataLoss, bid)
 			}
-			// Target: least-loaded live node without this block.
+			// Target: least-loaded live node without this block whose
+			// replica write does not fault.
 			var target *dataNode
 			for _, n := range c.liveNodes() {
-				if _, has := meta.replicas[n.id]; !has {
-					target = n
-					break
+				if _, has := meta.replicas[n.id]; has {
+					continue
 				}
+				if c.faultLocked("replicate", n.id) != nil {
+					continue
+				}
+				target = n
+				break
 			}
 			if target == nil {
-				// Cluster too small to restore full replication; stop trying
-				// for this block (it stays under-replicated but available).
+				// Cluster too small (or every target faulted) — stop trying
+				// for this block; it stays under-replicated but available,
+				// and the supervisor's next pass retries.
 				break
 			}
 			buf := make([]byte, len(src.blocks[bid]))
@@ -383,6 +468,8 @@ func (c *Cluster) Status() Report {
 			r.LiveNodes++
 		} else {
 			r.DeadNodes++
+			// Unreachable bytes on dead nodes don't count as stored.
+			continue
 		}
 		for _, b := range n.blocks {
 			r.StoredBytes += len(b)

@@ -190,7 +190,7 @@ func TestReviveDataNode(t *testing.T) {
 	if err := c.FailDataNode("dn-1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.ReviveDataNode("dn-1"); err != nil {
+	if _, err := c.ReviveDataNode("dn-1"); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Status()
@@ -200,7 +200,7 @@ func TestReviveDataNode(t *testing.T) {
 	if err := c.FailDataNode("nope"); !errors.Is(err, ErrNoDataNode) {
 		t.Fatalf("err = %v", err)
 	}
-	if err := c.ReviveDataNode("nope"); !errors.Is(err, ErrNoDataNode) {
+	if _, err := c.ReviveDataNode("nope"); !errors.Is(err, ErrNoDataNode) {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -1,0 +1,109 @@
+package hdfs
+
+import (
+	"sync"
+	"time"
+)
+
+// SupervisorStats counts supervisor activity.
+type SupervisorStats struct {
+	Ticks           int
+	RepairTicks     int // ticks that found under-replication
+	ReplicasCreated int
+	Errors          int
+}
+
+// Supervisor is the namenode's self-healing loop: it watches for
+// under-replicated blocks and re-replicates them automatically, so a
+// datanode failure degrades redundancy only until the next pass instead of
+// waiting for an operator to call ReplicateMissing by hand. Drive it
+// synchronously with Tick (deterministic tests) or in the background with
+// Start/Stop.
+type Supervisor struct {
+	c        *Cluster
+	interval time.Duration
+
+	mu    sync.Mutex
+	stats SupervisorStats
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewSupervisor builds a supervisor for the cluster; interval is the
+// background scan period (only used by Start).
+func NewSupervisor(c *Cluster, interval time.Duration) *Supervisor {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	return &Supervisor{c: c, interval: interval}
+}
+
+// Tick runs one scan-and-heal pass and returns how many replicas it
+// created. A cluster with no under-replicated blocks is a cheap no-op.
+func (s *Supervisor) Tick() (created int, err error) {
+	under, _ := s.c.UnderReplicated()
+	if under > 0 {
+		created, err = s.c.ReplicateMissing()
+	}
+	s.mu.Lock()
+	s.stats.Ticks++
+	if under > 0 {
+		s.stats.RepairTicks++
+	}
+	s.stats.ReplicasCreated += created
+	if err != nil {
+		s.stats.Errors++
+	}
+	s.mu.Unlock()
+	return created, err
+}
+
+// Stats returns a snapshot of counters.
+func (s *Supervisor) Stats() SupervisorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Start launches the background heal loop. Errors are counted in stats; the
+// loop keeps running (data loss on one block must not stop healing of the
+// rest). Safe to call once; Stop terminates and joins.
+func (s *Supervisor) Start() {
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = s.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for it to exit. Safe to
+// call when the supervisor was never started.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

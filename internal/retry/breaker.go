@@ -1,0 +1,181 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports a short-circuited attempt.
+var ErrBreakerOpen = errors.New("retry: circuit breaker open")
+
+// BreakerState enumerates the circuit breaker states.
+type BreakerState int
+
+const (
+	// Closed passes every attempt through (healthy).
+	Closed BreakerState = iota
+	// Open short-circuits attempts until the open window elapses.
+	Open
+	// HalfOpen admits a limited number of probes to test recovery.
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open (<=0 means 5).
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before admitting
+	// half-open probes (<=0 means 100ms).
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// breaker (<=0 means 1). A probe failure re-opens it immediately.
+	HalfOpenProbes int
+}
+
+// DefaultBreakerConfig returns the shared ingestion-tier breaker shape.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{FailureThreshold: 5, OpenTimeout: 100 * time.Millisecond, HalfOpenProbes: 2}
+}
+
+// BreakerStats counts breaker activity.
+type BreakerStats struct {
+	Opened        int // transitions into Open (including half-open relapses)
+	HalfOpened    int // transitions into HalfOpen
+	Closed        int // transitions into Closed after recovery
+	ShortCircuits int // attempts rejected while Open
+}
+
+// Breaker is a circuit breaker driven by an injectable clock: after
+// FailureThreshold consecutive failures it opens; once OpenTimeout elapses
+// on the clock it admits HalfOpenProbes probes, closing again only when all
+// of them succeed. Safe for concurrent use.
+type Breaker struct {
+	cfg   BreakerConfig
+	clock Clock
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	probes      int // probes admitted while half-open
+	probeOKs    int // probe successes while half-open
+	openedAt    time.Time
+	stats       BreakerStats
+}
+
+// NewBreaker builds a breaker on the given clock (nil means a ManualClock).
+func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
+	def := DefaultBreakerConfig()
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = def.FailureThreshold
+	}
+	if cfg.OpenTimeout <= 0 {
+		cfg.OpenTimeout = def.OpenTimeout
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = def.HalfOpenProbes
+	}
+	if clock == nil {
+		clock = NewManualClock(time.Time{})
+	}
+	return &Breaker{cfg: cfg, clock: clock}
+}
+
+// Allow reports whether an attempt may proceed, transitioning Open →
+// HalfOpen once the open window has elapsed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.clock.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+			b.state = HalfOpen
+			b.probes = 1
+			b.probeOKs = 0
+			b.stats.HalfOpened++
+			return true
+		}
+		b.stats.ShortCircuits++
+		return false
+	default: // HalfOpen
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		b.stats.ShortCircuits++
+		return false
+	}
+}
+
+// OnSuccess records a successful attempt.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.consecFails = 0
+	case HalfOpen:
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.HalfOpenProbes {
+			b.state = Closed
+			b.consecFails = 0
+			b.stats.Closed++
+		}
+	}
+}
+
+// OnFailure records a failed attempt, tripping the breaker when the
+// consecutive-failure threshold is reached (or instantly from half-open).
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.trip()
+	}
+}
+
+// trip moves to Open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.clock.Now()
+	b.consecFails = 0
+	b.stats.Opened++
+}
+
+// State returns the current state (resolving elapsed open windows lazily on
+// the next Allow, not here).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a snapshot of counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

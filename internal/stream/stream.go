@@ -27,6 +27,14 @@ var (
 	ErrOffsetOutOfLog = errors.New("stream: offset beyond log end")
 )
 
+// Bus is the produce/poll surface the ingestion pipelines depend on.
+// *Broker implements it directly; decorators (fault injection, metering)
+// wrap it without the pipelines knowing.
+type Bus interface {
+	Produce(topicName, key string, value []byte) (partitionID int, offset int64, err error)
+	Poll(groupName, topicName string, max int) ([]Record, error)
+}
+
 // Record is one message in a partition log.
 type Record struct {
 	Topic     string
@@ -58,6 +66,8 @@ type Broker struct {
 	groups map[string]*groupState
 	now    func() time.Time
 }
+
+var _ Bus = (*Broker)(nil)
 
 // NewBroker creates an empty broker.
 func NewBroker() *Broker {

@@ -104,7 +104,7 @@ func renderVehicle(img *tensor.Tensor, cls Class, cx, cy float64, rng *rand.Rand
 		// Cabin: lighter stripe across the top third.
 		for y := clamp(y0, size-1); y <= clamp(y0+h/3, size-1); y++ {
 			for x := clamp(x0+w/4, size-1); x <= clamp(x0+3*w/4, size-1); x++ {
-				img.Set(minf(1, base*1.3)+0.05*rng.NormFloat64(), ch, y, x)
+				img.Set(min(1, base*1.3)+0.05*rng.NormFloat64(), ch, y, x)
 			}
 		}
 	}
@@ -125,12 +125,6 @@ func renderVehicle(img *tensor.Tensor, cls Class, cx, cy float64, rng *rand.Rand
 	}
 }
 
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 // backgroundNoise fills an image with low-intensity road texture.
 func backgroundNoise(img *tensor.Tensor, rng *rand.Rand) {
