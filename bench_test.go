@@ -203,10 +203,11 @@ func BenchmarkFogSimulation(b *testing.B) {
 	}
 }
 
-func BenchmarkE15_GeospatialCNN(b *testing.B)   { benchExperiment(b, "E15") }
-func BenchmarkE16_OpioidAnalytics(b *testing.B) { benchExperiment(b, "E16") }
-func BenchmarkE17_GraphAnalytics(b *testing.B)  { benchExperiment(b, "E17") }
-func BenchmarkE18_ChaosPipeline(b *testing.B)   { benchExperiment(b, "E18") }
+func BenchmarkE15_GeospatialCNN(b *testing.B)      { benchExperiment(b, "E15") }
+func BenchmarkE16_OpioidAnalytics(b *testing.B)    { benchExperiment(b, "E16") }
+func BenchmarkE17_GraphAnalytics(b *testing.B)     { benchExperiment(b, "E17") }
+func BenchmarkE18_ChaosPipeline(b *testing.B)      { benchExperiment(b, "E18") }
+func BenchmarkE19_LatencyAttribution(b *testing.B) { benchExperiment(b, "E19") }
 
 // BenchmarkDataParallelTraining measures the software layer's "data
 // parallelism ... multiple workers per node" claim: synchronous replicated

@@ -6,6 +6,7 @@
 //	go run ./cmd/cityinfra                 # boot + ingest + report
 //	go run ./cmd/cityinfra -tweets 10000   # heavier ingest
 //	go run ./cmd/cityinfra -chaos 0.1      # inject 10% faults on every seam
+//	go run ./cmd/cityinfra -telemetry      # print the metrics registry after ingest
 package main
 
 import (
@@ -40,6 +41,7 @@ func run(args []string) error {
 	callCount := fs.Int("calls", 400, "911 calls to ingest")
 	serve := fs.String("serve", "", "after ingesting, serve the dashboard API on this address (e.g. :8080)")
 	chaos := fs.Float64("chaos", 0, "per-call fault probability injected on every storage/stream seam (0 = off)")
+	showTelemetry := fs.Bool("telemetry", false, "after ingesting, print the telemetry registry (what GET /metrics exposes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,6 +144,21 @@ func run(args []string) error {
 	hdfsStatus := inf.HDFS.Status()
 	q.AddRow("HDFS files / blocks", fmt.Sprintf("%d / %d", hdfsStatus.Files, hdfsStatus.Blocks))
 	fmt.Println(q)
+
+	if *showTelemetry {
+		tt := viz.NewTable("telemetry registry (GET /metrics)", "metric", "type", "value", "p50 ms", "p95 ms", "p99 ms")
+		for _, p := range inf.Telemetry.Snapshot() {
+			if p.Type == "histogram" {
+				tt.AddRow(p.Name, p.Type, p.Count,
+					fmt.Sprintf("%.2f", p.P50*1e3),
+					fmt.Sprintf("%.2f", p.P95*1e3),
+					fmt.Sprintf("%.2f", p.P99*1e3))
+				continue
+			}
+			tt.AddRow(p.Name, p.Type, p.Value, "-", "-", "-")
+		}
+		fmt.Println(tt)
+	}
 
 	if *serve != "" {
 		fmt.Printf("serving dashboard API on %s (GET /api/health, /api/inventory, /api/tweets/near, ...)\n", *serve)

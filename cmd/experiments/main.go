@@ -1,18 +1,22 @@
 // Command experiments regenerates the paper's figures and quantitative
-// claims (experiments E1..E18, see DESIGN.md §4). Without arguments it runs
+// claims (experiments E1..E19, see DESIGN.md §4). Without arguments it runs
 // everything; pass experiment ids to run a subset.
 //
-//	go run ./cmd/experiments            # all experiments
-//	go run ./cmd/experiments E3 E5      # just the fog sweep and detector
+//	go run ./cmd/experiments                         # all experiments
+//	go run ./cmd/experiments E3 E5                   # just the fog sweep and detector
 //	go run ./cmd/experiments -seed 7 E9
+//	go run ./cmd/experiments -bench-json BENCH_PR3.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,8 +30,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed shared by all experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	benchJSON := fs.String("bench-json", "", "benchmark the E18/E19 hot paths and write ops/sec + p99 JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchJSON != "" {
+		return writeBenchJSON(*benchJSON, *seed)
 	}
 	if *list {
 		titles := experiments.Titles()
@@ -47,5 +55,59 @@ func run(args []string) error {
 		}
 		fmt.Println(res.String())
 	}
+	return nil
+}
+
+// benchResult is one hot path's throughput/latency summary.
+type benchResult struct {
+	Experiment string  `json:"experiment"`
+	Iterations int     `json:"iterations"`
+	OpsPerSec  float64 `json:"opsPerSec"`
+	MeanMs     float64 `json:"meanMs"`
+	P99Ms      float64 `json:"p99Ms"`
+}
+
+// writeBenchJSON times the two heaviest pipeline experiments — E18 (chaos
+// sweep through the hardened ingestion path) and E19 (fog latency
+// attribution) — and records throughput plus tail latency. Durations feed a
+// telemetry histogram so the p99 here is computed by the same estimator the
+// /metrics endpoint exports.
+func writeBenchJSON(path string, seed int64) error {
+	const iters = 20
+	var results []benchResult
+	for _, id := range []string{"E18", "E19"} {
+		h := telemetry.NewHistogram(telemetry.ExpBuckets(1e-4, 2, 24))
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			if _, err := experiments.Run(id, seed+int64(i)); err != nil {
+				return fmt.Errorf("bench %s: %w", id, err)
+			}
+			h.Observe(time.Since(t0).Seconds())
+		}
+		elapsed := time.Since(start).Seconds()
+		results = append(results, benchResult{
+			Experiment: id,
+			Iterations: iters,
+			OpsPerSec:  float64(iters) / elapsed,
+			MeanMs:     h.Mean() * 1e3,
+			P99Ms:      h.Quantile(0.99) * 1e3,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"seed": seed, "benchmarks": results}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%s: %.1f ops/sec, mean %.1f ms, p99 %.1f ms (%d iterations)\n",
+			r.Experiment, r.OpsPerSec, r.MeanMs, r.P99Ms, r.Iterations)
+	}
+	fmt.Println("wrote", path)
 	return nil
 }

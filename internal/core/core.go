@@ -12,12 +12,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/citydata"
 	"repro/internal/dataproc"
 	"repro/internal/docstore"
 	"repro/internal/faults"
+	"repro/internal/flume"
 	"repro/internal/fog"
 	"repro/internal/geo"
 	"repro/internal/hbase"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/socialgraph"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/yarn"
 )
 
@@ -97,6 +100,20 @@ type Infrastructure struct {
 	Injector      *faults.Injector // nil until EnableChaos
 	storeFault    func() error     // docstore insert fault hook
 
+	// Observability layer: every tier records into one registry, the
+	// tracer attributes end-to-end latency to pipeline stages, and the
+	// Healer is the HDFS re-replication supervisor whose gauges it exposes.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
+	Healer    *hdfs.Supervisor
+
+	busMetrics    *stream.BusMetrics
+	flumeTel      *flume.AgentTelemetry
+	ingestSeq     atomic.Int64
+	ingestSeconds *telemetry.Histogram
+	pipeCollected, pipeStreamed, pipeStored,
+	pipeDropped, pipeDeadLettered, pipeRetries *telemetry.Counter
+
 	// Hardware layer.
 	Deployment *fog.Deployment
 
@@ -145,7 +162,6 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 			return nil, fmt.Errorf("boot broker: %w", err)
 		}
 	}
-	inf.Bus = inf.Broker
 	inf.DocDB = docstore.NewDatabase()
 	tweets := inf.DocDB.Collection("tweets")
 	tweets.CreateIndex("author")
@@ -173,6 +189,15 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 	if err != nil {
 		return nil, fmt.Errorf("boot hbase video: %w", err)
 	}
+
+	// Observability layer: registry + tracer, scrape-time wiring over the
+	// component stats above, and a metering decorator on the bus so every
+	// produce/poll is timed regardless of what sits underneath.
+	inf.Telemetry = telemetry.NewRegistry()
+	inf.Tracer = telemetry.NewTracer(nil, 128)
+	inf.Healer = hdfs.NewSupervisor(inf.HDFS, 0)
+	inf.wireTelemetry()
+	inf.Bus = stream.NewMeteredBus(inf.Broker, inf.busMetrics, nil)
 
 	// Hardware layer.
 	inf.Deployment, err = fog.BuildDeployment(cfg.Fog)

@@ -39,12 +39,20 @@ const storageGroup = "storage-tier"
 // dead-letter collection while the drain keeps going.
 func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats, error) {
 	stats := PipelineStats{Collected: len(tweets)}
-	retriesBefore := inf.Retry.Stats().Retries
+	start := time.Now()
+	root := inf.traceIngest("ingest-tweets")
+	defer func() {
+		root.End()
+		inf.recordPipeline(&stats, start)
+	}()
 
+	spCollect := root.Child("collect")
+	spCollect.SetTier("edge")
 	events := make([]flume.Event, len(tweets))
 	for i, tw := range tweets {
 		body, err := json.Marshal(tw)
 		if err != nil {
+			spCollect.End()
 			return PipelineStats{}, fmt.Errorf("marshal tweet: %w", err)
 		}
 		events[i] = flume.Event{
@@ -52,6 +60,10 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 			Body:    body,
 		}
 	}
+	spCollect.End()
+
+	spStream := root.Child("stream")
+	spStream.SetTier("fog")
 	sink := flume.NewDedupSink(
 		func(e flume.Event) string { return e.Headers["id"] },
 		func(e flume.Event) error {
@@ -61,18 +73,27 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 	)
 	dlq := retry.NewDLQ[flume.Event]()
 	agent := flume.NewAgent("twitter-collector", flume.NewSliceSource(events), sink,
-		flume.Config{BatchSize: 64, Retry: inf.Retry, DeadLetter: dlq})
+		flume.Config{BatchSize: 64, Retry: inf.Retry, DeadLetter: dlq, Telemetry: inf.flumeTel})
 	for !agent.Drained() {
 		// A pump error means a batch exhausted its retries; those events are
 		// in the DLQ, and the agent has already moved past them.
 		_, _ = agent.Pump(16)
 	}
-	inf.redrive(dlq, sink, &stats, "tweets")
+	// Per-agent and per-call counters, not policy-wide diffs: the shared
+	// policy serves every concurrent ingest, so a Stats() delta would
+	// absorb other pipelines' retries.
+	stats.Retries += agent.Metrics().Retries
+	stats.Retries += inf.redrive(dlq, sink, &stats, "tweets")
+	spStream.End()
 
 	// Storage tier: drain broker into docstore.
+	spStore := root.Child("store")
+	spStore.SetTier("server")
+	defer spStore.End()
 	col := inf.DocDB.Collection("tweets")
 	for {
-		recs, err := inf.pollWithRetry(storageGroup, "tweets", 256)
+		recs, cs, err := inf.pollWithRetry(storageGroup, "tweets", 256)
+		stats.Retries += cs.Retries
 		if err != nil {
 			return stats, fmt.Errorf("poll tweets: %w", err)
 		}
@@ -93,29 +114,31 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 				"unixTime": float64(tw.Time.Unix()),
 				"loc":      tw.Location,
 			}
-			if err := inf.storeWithRedrive(col, doc); err != nil {
+			cs, err := inf.storeWithRedrive(col, doc)
+			stats.Retries += cs.Retries
+			if err != nil {
 				inf.deadLetter(&stats, "tweets", "store", tw.ID, r.Value, err)
 				continue
 			}
 			stats.Stored++
 		}
 	}
-	stats.Retries += inf.Retry.Stats().Retries - retriesBefore
 	return stats, nil
 }
 
 // redrive replays dead-lettered flume events through the idempotent sink.
 // Events still failing after RedriveRounds are quarantined; events the sink
 // already delivered are skipped by the dedup layer, so a redrive never
-// duplicates.
-func (inf *Infrastructure) redrive(dlq *retry.DLQ[flume.Event], sink *flume.DedupSink, stats *PipelineStats, source string) {
+// duplicates. It returns the retries it spent, for per-run accounting.
+func (inf *Infrastructure) redrive(dlq *retry.DLQ[flume.Event], sink *flume.DedupSink, stats *PipelineStats, source string) (retries int) {
 	for round := 0; round < inf.RedriveRounds && dlq.Len() > 0; round++ {
 		for _, l := range dlq.Drain() {
 			attempts := 0
-			err := inf.Retry.Do(func() error {
+			cs, err := inf.Retry.DoStats(func() error {
 				attempts++
 				return sink.Deliver([]flume.Event{l.Item})
 			})
+			retries += cs.Retries
 			if err != nil {
 				dlq.Add(l.Item, err, l.Attempts+attempts)
 			}
@@ -124,6 +147,7 @@ func (inf *Infrastructure) redrive(dlq *retry.DLQ[flume.Event], sink *flume.Dedu
 	for _, l := range dlq.Drain() {
 		inf.deadLetter(stats, source, "produce", l.Item.Headers["id"], l.Item.Body, errors.New(l.Cause))
 	}
+	return retries
 }
 
 // deadLetter quarantines one failed record and keeps the books: captured
@@ -141,19 +165,36 @@ func (inf *Infrastructure) deadLetter(stats *PipelineStats, source, stage, key s
 // with the same quarantine-and-continue semantics as the tweet path.
 func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineStats, error) {
 	stats := PipelineStats{Collected: len(reports)}
-	retriesBefore := inf.Retry.Stats().Retries
+	start := time.Now()
+	root := inf.traceIngest("ingest-waze")
+	defer func() {
+		root.End()
+		inf.recordPipeline(&stats, start)
+	}()
+
+	spStream := root.Child("stream")
+	spStream.SetTier("fog")
 	for _, r := range reports {
 		body, err := json.Marshal(r)
 		if err != nil {
+			spStream.End()
 			return stats, fmt.Errorf("marshal waze: %w", err)
 		}
-		if err := inf.produceWithRetry("waze", string(r.Kind), body); err != nil {
+		cs, err := inf.produceWithRetry("waze", string(r.Kind), body)
+		stats.Retries += cs.Retries
+		if err != nil {
 			inf.deadLetter(&stats, "waze", "produce", r.ID, body, err)
 		}
 	}
+	spStream.End()
+
+	spStore := root.Child("store")
+	spStore.SetTier("server")
+	defer spStore.End()
 	col := inf.DocDB.Collection("waze")
 	for {
-		recs, err := inf.pollWithRetry(storageGroup, "waze", 256)
+		recs, cs, err := inf.pollWithRetry(storageGroup, "waze", 256)
+		stats.Retries += cs.Retries
 		if err != nil {
 			return stats, fmt.Errorf("poll waze: %w", err)
 		}
@@ -176,14 +217,15 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 				"loc":      r.Location,
 				"user":     r.UserReport,
 			}
-			if err := inf.storeWithRedrive(col, doc); err != nil {
+			cs, err := inf.storeWithRedrive(col, doc)
+			stats.Retries += cs.Retries
+			if err != nil {
 				inf.deadLetter(&stats, "waze", "store", r.ID, rec.Value, err)
 				continue
 			}
 			stats.Stored++
 		}
 	}
-	stats.Retries += inf.Retry.Stats().Retries - retriesBefore
 	return stats, nil
 }
 
@@ -200,15 +242,25 @@ func crimeRowKey(inc citydata.Incident) string {
 // and the batch continues.
 func (inf *Infrastructure) IngestCrimes(incidents []citydata.Incident, archivePath string) (PipelineStats, error) {
 	stats := PipelineStats{Collected: len(incidents)}
-	retriesBefore := inf.Retry.Stats().Retries
+	start := time.Now()
+	root := inf.traceIngest("ingest-crimes")
+	defer func() {
+		root.End()
+		inf.recordPipeline(&stats, start)
+	}()
+
 	put := func(row, family, qualifier string, value []byte) error {
 		op := func() error { return inf.CrimeTab.Put(row, family, qualifier, value) }
-		err := inf.Retry.Do(op)
+		cs, err := inf.Retry.DoStats(op)
+		stats.Retries += cs.Retries
 		for round := 1; err != nil && round <= inf.RedriveRounds; round++ {
-			err = inf.Retry.Do(op)
+			cs, err = inf.Retry.DoStats(op)
+			stats.Retries += cs.Retries
 		}
 		return err
 	}
+	spStore := root.Child("store")
+	spStore.SetTier("server")
 incidents:
 	for _, inc := range incidents {
 		row := crimeRowKey(inc)
@@ -240,16 +292,21 @@ incidents:
 			stats.Stored++
 		}
 	}
+	spStore.End()
 	if archivePath != "" {
+		spArchive := root.Child("archive")
+		spArchive.SetTier("cloud")
+		defer spArchive.End()
 		raw, err := json.Marshal(incidents)
 		if err != nil {
 			return stats, fmt.Errorf("marshal archive: %w", err)
 		}
-		if err := inf.Retry.Do(func() error { return inf.HDFS.Write(archivePath, raw) }); err != nil {
+		cs, err := inf.Retry.DoStats(func() error { return inf.HDFS.Write(archivePath, raw) })
+		stats.Retries += cs.Retries
+		if err != nil {
 			return stats, fmt.Errorf("archive crimes: %w", err)
 		}
 	}
-	stats.Retries += inf.Retry.Stats().Retries - retriesBefore
 	return stats, nil
 }
 
@@ -258,19 +315,36 @@ incidents:
 // rather than a side door straight into storage.
 func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, error) {
 	stats := PipelineStats{Collected: len(calls)}
-	retriesBefore := inf.Retry.Stats().Retries
+	start := time.Now()
+	root := inf.traceIngest("ingest-911")
+	defer func() {
+		root.End()
+		inf.recordPipeline(&stats, start)
+	}()
+
+	spStream := root.Child("stream")
+	spStream.SetTier("fog")
 	for _, c := range calls {
 		body, err := json.Marshal(c)
 		if err != nil {
+			spStream.End()
 			return stats, fmt.Errorf("marshal 911: %w", err)
 		}
-		if err := inf.produceWithRetry("calls911", c.Category, body); err != nil {
+		cs, err := inf.produceWithRetry("calls911", c.Category, body)
+		stats.Retries += cs.Retries
+		if err != nil {
 			inf.deadLetter(&stats, "calls911", "produce", c.ID, body, err)
 		}
 	}
+	spStream.End()
+
+	spStore := root.Child("store")
+	spStore.SetTier("server")
+	defer spStore.End()
 	col := inf.DocDB.Collection("calls911")
 	for {
-		recs, err := inf.pollWithRetry(storageGroup, "calls911", 256)
+		recs, cs, err := inf.pollWithRetry(storageGroup, "calls911", 256)
+		stats.Retries += cs.Retries
 		if err != nil {
 			return stats, fmt.Errorf("poll 911: %w", err)
 		}
@@ -291,14 +365,15 @@ func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, e
 				"unixTime": float64(c.Time.Unix()),
 				"loc":      c.Location,
 			}
-			if err := inf.storeWithRedrive(col, doc); err != nil {
+			cs, err := inf.storeWithRedrive(col, doc)
+			stats.Retries += cs.Retries
+			if err != nil {
 				inf.deadLetter(&stats, "calls911", "store", c.ID, rec.Value, err)
 				continue
 			}
 			stats.Stored++
 		}
 	}
-	stats.Retries += inf.Retry.Stats().Retries - retriesBefore
 	return stats, nil
 }
 

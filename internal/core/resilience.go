@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/docstore"
 	"repro/internal/faults"
+	"repro/internal/retry"
 	"repro/internal/stream"
 )
 
@@ -13,7 +14,9 @@ import (
 // stack without touching pipeline code.
 func (inf *Infrastructure) EnableChaos(inj *faults.Injector) {
 	inf.Injector = inj
-	inf.Bus = faults.NewFlakyBus(inf.Broker, inj)
+	// Metering wraps the flaky bus, not the other way round, so injected
+	// faults show up in the produce/poll error counters like real ones.
+	inf.Bus = stream.NewMeteredBus(faults.NewFlakyBus(inf.Broker, inj), inf.busMetrics, nil)
 	inf.HDFS.SetFaultHook(inj.HDFSHook())
 	inf.CrimeTab.SetFaultHook(inj.HBaseHook())
 	inf.VideoTab.SetFaultHook(inj.HBaseHook())
@@ -23,7 +26,7 @@ func (inf *Infrastructure) EnableChaos(inj *faults.Injector) {
 // DisableChaos detaches the injector and restores direct seams.
 func (inf *Infrastructure) DisableChaos() {
 	inf.Injector = nil
-	inf.Bus = inf.Broker
+	inf.Bus = stream.NewMeteredBus(inf.Broker, inf.busMetrics, nil)
 	inf.HDFS.SetFaultHook(nil)
 	inf.CrimeTab.SetFaultHook(nil)
 	inf.VideoTab.SetFaultHook(nil)
@@ -31,9 +34,11 @@ func (inf *Infrastructure) DisableChaos() {
 }
 
 // produceWithRetry pushes one record through the bus under the shared
-// policy.
-func (inf *Infrastructure) produceWithRetry(topic, key string, body []byte) error {
-	return inf.Retry.Do(func() error {
+// policy, returning this call's own retry accounting. Callers fold the
+// CallStats into their pipeline stats instead of diffing the policy-wide
+// counters, which would double-count when two ingests interleave.
+func (inf *Infrastructure) produceWithRetry(topic, key string, body []byte) (retry.CallStats, error) {
+	return inf.Retry.DoStats(func() error {
 		_, _, err := inf.Bus.Produce(topic, key, body)
 		return err
 	})
@@ -42,20 +47,20 @@ func (inf *Infrastructure) produceWithRetry(topic, key string, body []byte) erro
 // pollWithRetry reads from the bus under the shared policy. The flaky bus
 // decides faults before any offsets are committed, so retrying a failed poll
 // never skips records.
-func (inf *Infrastructure) pollWithRetry(group, topic string, max int) ([]stream.Record, error) {
+func (inf *Infrastructure) pollWithRetry(group, topic string, max int) ([]stream.Record, retry.CallStats, error) {
 	var recs []stream.Record
-	err := inf.Retry.Do(func() error {
+	cs, err := inf.Retry.DoStats(func() error {
 		var e error
 		recs, e = inf.Bus.Poll(group, topic, max)
 		return e
 	})
-	return recs, err
+	return recs, cs, err
 }
 
 // insertWithRetry writes one document under the shared policy, honoring the
 // chaos injector's store hook.
-func (inf *Infrastructure) insertWithRetry(col *docstore.Collection, doc docstore.Document) error {
-	return inf.Retry.Do(func() error {
+func (inf *Infrastructure) insertWithRetry(col *docstore.Collection, doc docstore.Document) (retry.CallStats, error) {
+	return inf.Retry.DoStats(func() error {
 		if inf.storeFault != nil {
 			if err := inf.storeFault(); err != nil {
 				return err
@@ -70,13 +75,19 @@ func (inf *Infrastructure) insertWithRetry(col *docstore.Collection, doc docstor
 // as dead-lettered produce batches: up to RedriveRounds additional policy
 // runs, so a fault burst or an open breaker window has to outlast every
 // round to defeat a write. Total attempts stay bounded by
-// MaxAttempts × (RedriveRounds + 1).
-func (inf *Infrastructure) storeWithRedrive(col *docstore.Collection, doc docstore.Document) error {
-	err := inf.insertWithRetry(col, doc)
+// MaxAttempts × (RedriveRounds + 1). The returned CallStats accumulates
+// across rounds.
+func (inf *Infrastructure) storeWithRedrive(col *docstore.Collection, doc docstore.Document) (retry.CallStats, error) {
+	total, err := inf.insertWithRetry(col, doc)
 	for round := 1; err != nil && round <= inf.RedriveRounds; round++ {
-		err = inf.insertWithRetry(col, doc)
+		var cs retry.CallStats
+		cs, err = inf.insertWithRetry(col, doc)
+		total.Attempts += cs.Attempts
+		total.Retries += cs.Retries
+		total.ShortCircuits += cs.ShortCircuits
+		total.Slept += cs.Slept
 	}
-	return err
+	return total, err
 }
 
 // quarantine parks an undeliverable record in the dead-letter collection so

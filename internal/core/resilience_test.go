@@ -165,7 +165,16 @@ func TestChaosWazeAnd911(t *testing.T) {
 		t.Fatalf("911 stats = %+v", cs)
 	}
 	inf.DisableChaos()
-	if inf.Injector != nil || inf.Bus != stream.Bus(inf.Broker) {
+	if inf.Injector != nil {
 		t.Fatal("chaos not detached")
+	}
+	// The bus stays metered after detach; underneath must be the raw broker
+	// again, not the fault-injecting wrapper.
+	mb, ok := inf.Bus.(*stream.MeteredBus)
+	if !ok {
+		t.Fatalf("bus after DisableChaos = %T, want *stream.MeteredBus", inf.Bus)
+	}
+	if mb.Unwrap() != stream.Bus(inf.Broker) {
+		t.Fatalf("inner bus after DisableChaos = %T, want the raw broker", mb.Unwrap())
 	}
 }

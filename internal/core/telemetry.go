@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flume"
+	"repro/internal/hbase"
+	"repro/internal/retry"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// wireTelemetry registers the infrastructure's metric families on the shared
+// registry. Components with hot paths (broker, flume, pipelines) get direct
+// instruments recorded at call time; components that already keep their own
+// counters (retry policy, breaker, HDFS, HBase, the re-replication
+// supervisor) are read at scrape time via CounterFunc/GaugeFunc so their
+// fast paths are not instrumented twice.
+func (inf *Infrastructure) wireTelemetry() {
+	r := inf.Telemetry
+
+	// Broker and flume hot-path instruments, shared by every decorator and
+	// agent the infrastructure creates.
+	inf.busMetrics = stream.NewBusMetrics(r)
+	inf.flumeTel = flume.NewAgentTelemetry(r, nil)
+
+	// Pipeline (Fig. 4) cumulative counters and end-to-end latency.
+	inf.ingestSeconds = r.Histogram("cityinfra_pipeline_ingest_seconds",
+		"end-to-end latency of one ingestion run in seconds", nil)
+	inf.pipeCollected = r.Counter("cityinfra_pipeline_collected_total", "events produced by collectors")
+	inf.pipeStreamed = r.Counter("cityinfra_pipeline_streamed_total", "records that crossed the broker")
+	inf.pipeStored = r.Counter("cityinfra_pipeline_stored_total", "documents/cells written to NoSQL stores")
+	inf.pipeDropped = r.Counter("cityinfra_pipeline_dropped_total", "records lost outright")
+	inf.pipeDeadLettered = r.Counter("cityinfra_pipeline_deadlettered_total", "records quarantined for replay")
+	inf.pipeRetries = r.Counter("cityinfra_pipeline_retries_total", "delivery attempts beyond the first")
+
+	// Retry policy: scrape-time reads of the policy's own counters.
+	retryStat := func(get func(retry.Stats) int) func() float64 {
+		return func() float64 { return float64(get(inf.Retry.Stats())) }
+	}
+	r.CounterFunc("cityinfra_retry_calls_total", "retry policy invocations",
+		retryStat(func(s retry.Stats) int { return s.Calls }))
+	r.CounterFunc("cityinfra_retry_attempts_total", "operation executions",
+		retryStat(func(s retry.Stats) int { return s.Attempts }))
+	r.CounterFunc("cityinfra_retry_retries_total", "backoff sleeps taken",
+		retryStat(func(s retry.Stats) int { return s.Retries }))
+	r.CounterFunc("cityinfra_retry_failures_total", "failed operation executions",
+		retryStat(func(s retry.Stats) int { return s.Failures }))
+	r.CounterFunc("cityinfra_retry_short_circuits_total", "attempts skipped by an open breaker",
+		retryStat(func(s retry.Stats) int { return s.ShortCircuits }))
+	r.CounterFunc("cityinfra_retry_exhausted_total", "calls that failed after all attempts",
+		retryStat(func(s retry.Stats) int { return s.Exhausted }))
+
+	// Circuit breaker: state gauge plus state-transition counters.
+	r.GaugeFunc("cityinfra_breaker_state", "0=closed, 1=half-open, 2=open", func() float64 {
+		switch inf.Breaker.State() {
+		case retry.Open:
+			return 2
+		case retry.HalfOpen:
+			return 1
+		default:
+			return 0
+		}
+	})
+	breakerStat := func(get func(retry.BreakerStats) int) func() float64 {
+		return func() float64 { return float64(get(inf.Breaker.Stats())) }
+	}
+	r.CounterFunc("cityinfra_breaker_opened_total", "transitions into open",
+		breakerStat(func(s retry.BreakerStats) int { return s.Opened }))
+	r.CounterFunc("cityinfra_breaker_half_opened_total", "transitions into half-open",
+		breakerStat(func(s retry.BreakerStats) int { return s.HalfOpened }))
+	r.CounterFunc("cityinfra_breaker_closed_total", "transitions into closed after recovery",
+		breakerStat(func(s retry.BreakerStats) int { return s.Closed }))
+	r.CounterFunc("cityinfra_breaker_short_circuits_total", "attempts rejected while open",
+		breakerStat(func(s retry.BreakerStats) int { return s.ShortCircuits }))
+
+	// HDFS: block I/O counters plus cluster-health gauges.
+	r.CounterFunc("cityinfra_hdfs_block_reads_total", "block replicas successfully read",
+		func() float64 { return float64(inf.HDFS.Counters().BlockReads) })
+	r.CounterFunc("cityinfra_hdfs_block_writes_total", "blocks placed at full replication",
+		func() float64 { return float64(inf.HDFS.Counters().BlockWrites) })
+	r.CounterFunc("cityinfra_hdfs_replicas_created_total", "replicas created by re-replication",
+		func() float64 { return float64(inf.HDFS.Counters().ReplicasCreated) })
+	r.GaugeFunc("cityinfra_hdfs_live_datanodes", "datanodes currently alive",
+		func() float64 { return float64(inf.HDFS.Status().LiveNodes) })
+	r.GaugeFunc("cityinfra_hdfs_under_replicated_blocks", "blocks below the replication factor",
+		func() float64 { return float64(inf.HDFS.Status().UnderReplicated) })
+	r.GaugeFunc("cityinfra_hdfs_lost_blocks", "blocks with zero live replicas",
+		func() float64 { return float64(inf.HDFS.Status().LostBlocks) })
+	r.GaugeFunc("cityinfra_hdfs_stored_bytes", "bytes stored on live datanodes",
+		func() float64 { return float64(inf.HDFS.Status().StoredBytes) })
+
+	// Re-replication supervisor (self-healing loop).
+	r.CounterFunc("cityinfra_hdfs_healer_ticks_total", "supervisor scan passes",
+		func() float64 { return float64(inf.Healer.Stats().Ticks) })
+	r.CounterFunc("cityinfra_hdfs_healer_repair_ticks_total", "scan passes that found under-replication",
+		func() float64 { return float64(inf.Healer.Stats().RepairTicks) })
+	r.CounterFunc("cityinfra_hdfs_healer_replicas_created_total", "replicas restored by the supervisor",
+		func() float64 { return float64(inf.Healer.Stats().ReplicasCreated) })
+
+	// HBase: per-table WAL/memstore/flush metrics.
+	for _, tab := range []*hbase.Table{inf.CrimeTab, inf.VideoTab} {
+		tab := tab
+		label := func(name string) string { return telemetry.WithLabel(name, "table", tab.Name()) }
+		r.CounterFunc(label("cityinfra_hbase_wal_appends_total"), "WAL appends",
+			func() float64 { return float64(tab.Stats().WALAppends) })
+		r.CounterFunc(label("cityinfra_hbase_flushes_total"), "memstore flushes",
+			func() float64 { return float64(tab.Stats().Flushes) })
+		r.CounterFunc(label("cityinfra_hbase_compactions_total"), "store-file compactions",
+			func() float64 { return float64(tab.Stats().Compactions) })
+		r.GaugeFunc(label("cityinfra_hbase_memstore_cells"), "cells buffered in the memstore",
+			func() float64 { return float64(tab.Stats().MemstoreCells) })
+		r.GaugeFunc(label("cityinfra_hbase_store_files"), "immutable store files",
+			func() float64 { return float64(tab.Stats().StoreFiles) })
+	}
+}
+
+// traceIngest opens a trace for one pipeline run and returns its root span.
+// Trace ids are sequence-numbered per source so concurrent ingests never
+// collide; the most recent runs stay inspectable via /api/trace/{id}.
+func (inf *Infrastructure) traceIngest(source string) *telemetry.Span {
+	id := fmt.Sprintf("%s-%d", source, inf.ingestSeq.Add(1))
+	return inf.Tracer.Start(id, source)
+}
+
+// recordPipeline folds one run's stats into the cumulative pipeline counters
+// and observes its end-to-end latency.
+func (inf *Infrastructure) recordPipeline(stats *PipelineStats, start time.Time) {
+	inf.pipeCollected.Add(stats.Collected)
+	inf.pipeStreamed.Add(stats.Streamed)
+	inf.pipeStored.Add(stats.Stored)
+	inf.pipeDropped.Add(stats.Dropped)
+	inf.pipeDeadLettered.Add(stats.DeadLettered)
+	inf.pipeRetries.Add(stats.Retries)
+	inf.ingestSeconds.Observe(time.Since(start).Seconds())
+}

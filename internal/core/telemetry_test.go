@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/citydata"
+	"repro/internal/faults"
+)
+
+// TestTelemetryWiredThroughIngest drives one pipeline run and checks the
+// activity shows up in every tier's metric family and in the tracer.
+func TestTelemetryWiredThroughIngest(t *testing.T) {
+	inf := bootSmall(t)
+	tweets := genTweets(t, inf, 100, 7)
+	if _, err := inf.IngestTweets(tweets); err != nil {
+		t.Fatal(err)
+	}
+	if err := inf.HDFS.Write("/archive/smoke", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inf.HDFS.Read("/archive/smoke"); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := inf.Telemetry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// One representative metric per instrumented subsystem.
+	for _, family := range []string{
+		"cityinfra_broker_produce_total",
+		"cityinfra_flume_batches_delivered_total",
+		"cityinfra_hdfs_block_writes_total",
+		`cityinfra_hbase_wal_appends_total{table="crimes"}`,
+		"cityinfra_retry_calls_total",
+		"cityinfra_breaker_state",
+		"cityinfra_pipeline_stored_total",
+	} {
+		if !strings.Contains(out, family) {
+			t.Fatalf("exposition missing %q:\n%s", family, out)
+		}
+	}
+
+	// Values moved, not just registered.
+	var produced, stored float64
+	for _, p := range inf.Telemetry.Snapshot() {
+		switch p.Name {
+		case "cityinfra_broker_produce_total":
+			produced = p.Value
+		case "cityinfra_pipeline_stored_total":
+			stored = p.Value
+		}
+	}
+	if produced < 100 || stored < 100 {
+		t.Fatalf("produced = %g, stored = %g, want >= 100 each", produced, stored)
+	}
+
+	// The run left an inspectable trace whose breakdown accounts for the
+	// root duration.
+	ids := inf.Tracer.IDs()
+	if len(ids) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	tv, err := inf.Tracer.Trace(ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, st := range tv.Breakdown() {
+		sum += st.ExclusiveMs
+	}
+	if tv.DurationMs > 0 && (sum < tv.DurationMs*0.99 || sum > tv.DurationMs*1.01) {
+		t.Fatalf("breakdown sums to %g ms, root %g ms", sum, tv.DurationMs)
+	}
+}
+
+// TestRetryAccountingPerCall is the regression test for the retriesBefore
+// diff pattern: with two ingests interleaving on the shared policy, each
+// run's Retries must count only its own backoffs, so the per-run numbers sum
+// exactly to the policy-wide delta instead of each absorbing the other's.
+func TestRetryAccountingPerCall(t *testing.T) {
+	inf := bootSmall(t)
+	inf.EnableChaos(faults.NewInjector(faults.Config{Seed: 11, ErrorRate: 0.10}))
+	rng := rand.New(rand.NewSource(5))
+	reports, err := citydata.GenerateWaze(150, inf.Cameras, inf.Config().Epoch, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls, err := citydata.Generate911(150, inf.Config().Epoch, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := inf.Retry.Stats().Retries
+	var wg sync.WaitGroup
+	var wazeStats, callStats PipelineStats
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		wazeStats, _ = inf.IngestWaze(reports)
+	}()
+	go func() {
+		defer wg.Done()
+		callStats, _ = inf.Ingest911(calls)
+	}()
+	wg.Wait()
+	delta := inf.Retry.Stats().Retries - before
+
+	if got := wazeStats.Retries + callStats.Retries; got != delta {
+		t.Fatalf("per-run retries %d + %d = %d, policy-wide delta %d — attribution leaks across ingests",
+			wazeStats.Retries, callStats.Retries, got, delta)
+	}
+	if delta == 0 {
+		t.Fatal("chaos produced no retries; the accounting test exercised nothing")
+	}
+}

@@ -65,6 +65,7 @@ var registry = []registration{
 	{"E16", "§V — opioid epidemic multi-source analytics (future work)", E16OpioidAnalytics},
 	{"E17", "§II.C — distributed graph analytics (PageRank, components)", E17GraphAnalytics},
 	{"E18", "robustness — chaos sweep vs retry/breaker/DLQ hardening", E18ChaosPipeline},
+	{"E19", "telemetry — per-tier latency attribution across offload thresholds", E19LatencyAttribution},
 }
 
 // IDs lists experiment ids in order.

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("registry has %d experiments, want 18 (E1..E18)", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("registry has %d experiments, want 19 (E1..E19)", len(ids))
 	}
 	titles := Titles()
 	for _, id := range ids {
@@ -128,5 +128,15 @@ func TestE18(t *testing.T) {
 	// the sweep shape: 4 rates × 2 arms.
 	if res.Tables[0].NumRows() != 8 {
 		t.Fatalf("sweep rows = %d", res.Tables[0].NumRows())
+	}
+}
+
+func TestE19(t *testing.T) {
+	res := runAndCheck(t, "E19")
+	// The runner fails internally if any threshold's attribution leaks
+	// latency; reaching here means wait+service summed to end-to-end at all
+	// three thresholds. Check the summary shape: one row per threshold.
+	if res.Tables[1].NumRows() != 3 {
+		t.Fatalf("summary rows = %d", res.Tables[1].NumRows())
 	}
 }

@@ -108,4 +108,3 @@ func E3FogOffloadSweep(rng *rand.Rand) (*Result, error) {
 		Notes:  notes,
 	}, nil
 }
-

@@ -87,6 +87,7 @@ type Table struct {
 	// Metrics.
 	flushes     int
 	compactions int
+	walAppends  int // cumulative, survives flushes (unlike len(wal))
 }
 
 // NewTable creates a table with the given column families, persisting store
@@ -171,6 +172,7 @@ func (t *Table) applyLocked(c Cell) error {
 		return fmt.Errorf("wal append %s: %w", t.name, err)
 	}
 	t.wal = append(t.wal, c)
+	t.walAppends++
 	key := cellKey(c.Row, c.Family, c.Qualifier)
 	t.memstore[key] = append([]Cell{c}, t.memstore[key]...)
 	t.memCount++
@@ -428,7 +430,8 @@ type Stats struct {
 	StoreFiles    int
 	Flushes       int
 	Compactions   int
-	WALEntries    int
+	WALEntries    int // unflushed WAL length
+	WALAppends    int // cumulative appends across the table's lifetime
 }
 
 // Stats returns a snapshot of table internals.
@@ -441,6 +444,7 @@ func (t *Table) Stats() Stats {
 		Flushes:       t.flushes,
 		Compactions:   t.compactions,
 		WALEntries:    len(t.wal),
+		WALAppends:    t.walAppends,
 	}
 }
 

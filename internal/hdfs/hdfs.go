@@ -71,6 +71,15 @@ type Cluster struct {
 	files     map[string]*fileMeta
 	blocks    map[BlockID]*blockMeta
 	hook      FaultHook
+	counters  Counters
+}
+
+// Counters accumulates block-level I/O activity across the cluster's
+// lifetime, for exposition as telemetry counters.
+type Counters struct {
+	BlockReads      int64 // block replicas successfully read
+	BlockWrites     int64 // blocks successfully placed at full replication
+	ReplicasCreated int64 // replicas created by re-replication healing
 }
 
 // NewCluster creates an empty cluster. rng drives replica placement
@@ -207,6 +216,7 @@ func (c *Cluster) placeBlock(chunk []byte) (BlockID, error) {
 		return 0, fmt.Errorf("%w: %d/%d replicas placed", ErrNotEnoughNodes, len(meta.replicas), c.cfg.Replication)
 	}
 	c.blocks[bid] = meta
+	c.counters.BlockWrites++
 	return bid, nil
 }
 
@@ -249,6 +259,7 @@ func (c *Cluster) Read(path string) ([]byte, error) {
 			}
 			chunk = n.blocks[bid]
 			found = true
+			c.counters.BlockReads++
 			break
 		}
 		if !found {
@@ -442,9 +453,17 @@ func (c *Cluster) ReplicateMissing() (created int, err error) {
 			target.blocks[bid] = buf
 			meta.replicas[target.id] = struct{}{}
 			created++
+			c.counters.ReplicasCreated++
 		}
 	}
 	return created, nil
+}
+
+// Counters returns a snapshot of cumulative block I/O counters.
+func (c *Cluster) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
 }
 
 // Report summarizes cluster state.

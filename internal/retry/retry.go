@@ -228,15 +228,35 @@ func (p *Policy) count(f func(s *Stats)) {
 	p.mu.Unlock()
 }
 
+// CallStats counts what one Do/DoStats call did. Unlike the policy-wide
+// Stats snapshot, these are attributable to a single operation even when
+// other goroutines run the same policy concurrently — callers that need
+// per-record retry accounting must use these rather than diffing Stats
+// around the call.
+type CallStats struct {
+	Attempts      int // operation executions in this call
+	Retries       int // backoff sleeps taken in this call
+	ShortCircuits int // attempts skipped because the breaker was open
+	Slept         time.Duration
+}
+
 // Do runs op with bounded retries. Permanent errors fail fast. When the
 // breaker is open the attempt is skipped but still backs off (advancing the
 // clock so the breaker can reach half-open); when the budget is dry the call
 // stops early. The returned error is the last failure, nil on success.
 func (p *Policy) Do(op func() error) error {
+	_, err := p.DoStats(op)
+	return err
+}
+
+// DoStats is Do plus a per-call stats record (see CallStats).
+func (p *Policy) DoStats(op func() error) (CallStats, error) {
 	p.count(func(s *Stats) { s.Calls++ })
+	var cs CallStats
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if p.breaker != nil && !p.breaker.Allow() {
+			cs.ShortCircuits++
 			p.count(func(s *Stats) { s.ShortCircuits++ })
 			if lastErr == nil {
 				lastErr = ErrBreakerOpen
@@ -245,6 +265,7 @@ func (p *Policy) Do(op func() error) error {
 			}
 		} else {
 			err := op()
+			cs.Attempts++
 			p.count(func(s *Stats) { s.Attempts++ })
 			if err == nil {
 				if p.breaker != nil {
@@ -253,7 +274,7 @@ func (p *Policy) Do(op func() error) error {
 				if p.budget != nil {
 					p.budget.OnSuccess()
 				}
-				return nil
+				return cs, nil
 			}
 			lastErr = err
 			p.count(func(s *Stats) { s.Failures++ })
@@ -262,18 +283,20 @@ func (p *Policy) Do(op func() error) error {
 			}
 			if IsPermanent(err) {
 				p.count(func(s *Stats) { s.Exhausted++ })
-				return err
+				return cs, err
 			}
 		}
 		if attempt >= p.cfg.MaxAttempts {
 			p.count(func(s *Stats) { s.Exhausted++ })
-			return lastErr
+			return cs, lastErr
 		}
 		if p.budget != nil && !p.budget.Spend() {
 			p.count(func(s *Stats) { s.BudgetStops++; s.Exhausted++ })
-			return fmt.Errorf("%w: %w", ErrBudgetExhausted, lastErr)
+			return cs, fmt.Errorf("%w: %w", ErrBudgetExhausted, lastErr)
 		}
 		d := p.backoff(attempt)
+		cs.Retries++
+		cs.Slept += d
 		p.count(func(s *Stats) { s.Retries++; s.SleptSimulated += d })
 		p.clock.Sleep(d)
 	}

@@ -244,3 +244,69 @@ func TestOffsetsDenseProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConsumerGroupRebalance: a second member joining a group mid-consumption
+// must pick up exactly where the group's committed offsets stand — between
+// the two members every record is delivered exactly once, nothing is
+// re-polled, and the group's committed offsets reach the log end.
+func TestConsumerGroupRebalance(t *testing.T) {
+	const partitions, records = 4, 200
+	b := newTestBroker(t, partitions)
+	for i := 0; i < records; i++ {
+		if _, _, err := b.Produce("events", fmt.Sprintf("key-%d", i), []byte(strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seen := make(map[string]string) // "partition/offset" → which member got it
+	drain := func(member string, max int) int {
+		recs, err := b.Poll("g", "events", max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			key := fmt.Sprintf("%d/%d", r.Partition, r.Offset)
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("record %s delivered to both %s and %s", key, prev, member)
+			}
+			seen[key] = member
+		}
+		return len(recs)
+	}
+
+	// Member A consumes part of the backlog alone.
+	got := drain("member-a", 70)
+	if got != 70 {
+		t.Fatalf("member-a first drain = %d", got)
+	}
+	// Member B joins the same group mid-consumption; both keep polling in
+	// alternation until the group has drained the topic.
+	for {
+		n := drain("member-b", 25)
+		n += drain("member-a", 25)
+		if n == 0 {
+			break
+		}
+	}
+
+	if len(seen) != records {
+		t.Fatalf("group consumed %d distinct records, want %d", len(seen), records)
+	}
+	for p := 0; p < partitions; p++ {
+		end, err := b.EndOffset("events", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed, err := b.Committed("g", "events", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if committed != end {
+			t.Fatalf("partition %d committed = %d, end = %d", p, committed, end)
+		}
+	}
+	// A third poll after the rebalance-drain re-delivers nothing.
+	if recs, err := b.Poll("g", "events", records); err != nil || len(recs) != 0 {
+		t.Fatalf("post-drain poll = %d records, err %v", len(recs), err)
+	}
+}

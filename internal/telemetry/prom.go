@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE lines once per metric
+// family, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range r.sortedMetrics() {
+		family := baseName(m.name)
+		if family != lastFamily {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", family, m.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", family, m.kind)
+			lastFamily = family
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fn()))
+		case kindHistogram:
+			writeHistogram(&b, m)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits cumulative buckets plus _sum and _count.
+func writeHistogram(b *strings.Builder, m *metric) {
+	family := baseName(m.name)
+	labels := m.name[len(family):] // "" or "{k=\"v\"}"
+	bounds := m.hist.Bounds()
+	counts := m.hist.BucketCounts()
+	var cum uint64
+	for i, bound := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", family, mergeLabel(labels, "le", formatFloat(bound)), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", family, mergeLabel(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", family, labels, formatFloat(m.hist.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", family, labels, m.hist.Count())
+}
+
+// mergeLabel adds one label pair to an existing (possibly empty) label
+// block.
+func mergeLabel(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest exact
+// representation, integers without a trailing ".0".
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -125,7 +125,6 @@ func renderVehicle(img *tensor.Tensor, cls Class, cx, cy float64, rng *rand.Rand
 	}
 }
 
-
 // backgroundNoise fills an image with low-intensity road texture.
 func backgroundNoise(img *tensor.Tensor, rng *rand.Rand) {
 	d := img.Data()

@@ -39,6 +39,9 @@ func NewServer(inf *core.Infrastructure) *Server {
 	s.mux.HandleFunc("GET /api/cameras/near", s.handleCamerasNear)
 	s.mux.HandleFunc("GET /api/alerts", s.handleAlerts)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
 	return s
 }
 
@@ -68,6 +71,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.inf.Inventory())
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.inf.Telemetry.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is drop the connection mid-body.
+		return
+	}
+}
+
+// handleTraces lists the retained trace ids, oldest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ids := s.inf.Tracer.IDs()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(ids), "traces": ids})
+}
+
+// handleTrace serves one trace's spans plus its per-stage latency breakdown.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tv, err := s.inf.Tracer.Trace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace": tv, "breakdown": tv.Breakdown()})
 }
 
 // parseLatLon reads lat/lon query params.

@@ -3,9 +3,11 @@ package web
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/citydata"
@@ -158,4 +160,66 @@ func TestUnknownRouteIs404(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	// The scrape must cover every instrumented subsystem: broker, flume,
+	// hdfs, hbase, retry/breaker, and the pipeline itself.
+	for _, family := range []string{
+		"cityinfra_broker_produce_total",
+		"cityinfra_flume_batch_seconds",
+		"cityinfra_hdfs_live_datanodes",
+		"cityinfra_hbase_flushes_total",
+		"cityinfra_retry_retries_total",
+		"cityinfra_breaker_state",
+		"cityinfra_pipeline_ingest_seconds",
+	} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("/metrics missing %q:\n%s", family, body)
+		}
+	}
+	if !strings.Contains(body, "# TYPE cityinfra_pipeline_ingest_seconds histogram") {
+		t.Fatal("/metrics missing histogram TYPE line")
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t)
+	out := getJSON(t, srv.URL+"/api/traces", http.StatusOK)
+	if out["count"].(float64) < 1 {
+		t.Fatalf("traces = %v", out)
+	}
+	ids := out["traces"].([]any)
+	id := ids[len(ids)-1].(string)
+
+	tr := getJSON(t, srv.URL+"/api/trace/"+id, http.StatusOK)
+	trace := tr["trace"].(map[string]any)
+	if trace["id"] != id {
+		t.Fatalf("trace id = %v, want %s", trace["id"], id)
+	}
+	if len(trace["spans"].([]any)) < 2 {
+		t.Fatalf("trace has %d spans, want root + stages", len(trace["spans"].([]any)))
+	}
+	if len(tr["breakdown"].([]any)) < 1 {
+		t.Fatalf("breakdown = %v", tr["breakdown"])
+	}
+
+	getJSON(t, srv.URL+"/api/trace/nope", http.StatusNotFound)
 }
