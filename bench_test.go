@@ -208,6 +208,7 @@ func BenchmarkE16_OpioidAnalytics(b *testing.B)    { benchExperiment(b, "E16") }
 func BenchmarkE17_GraphAnalytics(b *testing.B)     { benchExperiment(b, "E17") }
 func BenchmarkE18_ChaosPipeline(b *testing.B)      { benchExperiment(b, "E18") }
 func BenchmarkE19_LatencyAttribution(b *testing.B) { benchExperiment(b, "E19") }
+func BenchmarkE20_TracedChaosSweep(b *testing.B)   { benchExperiment(b, "E20") }
 
 // BenchmarkDataParallelTraining measures the software layer's "data
 // parallelism ... multiple workers per node" claim: synchronous replicated

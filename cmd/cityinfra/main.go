@@ -146,18 +146,30 @@ func run(args []string) error {
 	fmt.Println(q)
 
 	if *showTelemetry {
-		tt := viz.NewTable("telemetry registry (GET /metrics)", "metric", "type", "value", "p50 ms", "p95 ms", "p99 ms")
+		tt := viz.NewTable("telemetry registry (GET /metrics)", "metric", "type", "value", "p50 ms", "p95 ms", "p99 ms", "p99 exemplar")
 		for _, p := range inf.Telemetry.Snapshot() {
 			if p.Type == "histogram" {
+				ex := p.ExemplarTrace
+				if ex == "" {
+					ex = "-"
+				}
 				tt.AddRow(p.Name, p.Type, p.Count,
 					fmt.Sprintf("%.2f", p.P50*1e3),
 					fmt.Sprintf("%.2f", p.P95*1e3),
-					fmt.Sprintf("%.2f", p.P99*1e3))
+					fmt.Sprintf("%.2f", p.P99*1e3),
+					ex)
 				continue
 			}
-			tt.AddRow(p.Name, p.Type, p.Value, "-", "-", "-")
+			tt.AddRow(p.Name, p.Type, p.Value, "-", "-", "-", "-")
 		}
 		fmt.Println(tt)
+
+		st := viz.NewTable("SLO burn rates (GET /api/slo)", "objective", "target", "windowed good/total", "error rate", "burn rate")
+		for _, rep := range inf.SLOs.Reports() {
+			st.AddRow(rep.Name, rep.Objective,
+				fmt.Sprintf("%.0f/%.0f", rep.Good, rep.Total), rep.ErrorRate, rep.BurnRate)
+		}
+		fmt.Println(st)
 	}
 
 	if *serve != "" {

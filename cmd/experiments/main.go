@@ -1,11 +1,11 @@
 // Command experiments regenerates the paper's figures and quantitative
-// claims (experiments E1..E19, see DESIGN.md §4). Without arguments it runs
+// claims (experiments E1..E20, see DESIGN.md §4). Without arguments it runs
 // everything; pass experiment ids to run a subset.
 //
 //	go run ./cmd/experiments                         # all experiments
 //	go run ./cmd/experiments E3 E5                   # just the fog sweep and detector
 //	go run ./cmd/experiments -seed 7 E9
-//	go run ./cmd/experiments -bench-json BENCH_PR3.json
+//	go run ./cmd/experiments -bench-json BENCH_PR4.json
 package main
 
 import (
@@ -30,7 +30,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed shared by all experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	benchJSON := fs.String("bench-json", "", "benchmark the E18/E19 hot paths and write ops/sec + p99 JSON to this file")
+	benchJSON := fs.String("bench-json", "", "benchmark the E18/E19/E20 hot paths and write ops/sec + p99 JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,15 +67,15 @@ type benchResult struct {
 	P99Ms      float64 `json:"p99Ms"`
 }
 
-// writeBenchJSON times the two heaviest pipeline experiments — E18 (chaos
-// sweep through the hardened ingestion path) and E19 (fog latency
-// attribution) — and records throughput plus tail latency. Durations feed a
-// telemetry histogram so the p99 here is computed by the same estimator the
-// /metrics endpoint exports.
+// writeBenchJSON times the heaviest pipeline experiments — E18 (chaos sweep
+// through the hardened ingestion path), E19 (fog latency attribution), and
+// E20 (traced chaos sweep across the offload boundary) — and records
+// throughput plus tail latency. Durations feed a telemetry histogram so the
+// p99 here is computed by the same estimator the /metrics endpoint exports.
 func writeBenchJSON(path string, seed int64) error {
 	const iters = 20
 	var results []benchResult
-	for _, id := range []string{"E18", "E19"} {
+	for _, id := range []string{"E18", "E19", "E20"} {
 		h := telemetry.NewHistogram(telemetry.ExpBuckets(1e-4, 2, 24))
 		start := time.Now()
 		for i := 0; i < iters; i++ {

@@ -103,9 +103,14 @@ type Infrastructure struct {
 	// Observability layer: every tier records into one registry, the
 	// tracer attributes end-to-end latency to pipeline stages, and the
 	// Healer is the HDFS re-replication supervisor whose gauges it exposes.
+	// Events is the bounded operational event log fed by breaker, healer,
+	// HBase, and dead-letter state changes; SLOs tracks rolling burn rates
+	// over the pipeline counters.
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 	Healer    *hdfs.Supervisor
+	Events    *telemetry.EventLog
+	SLOs      *telemetry.SLOMonitor
 
 	busMetrics    *stream.BusMetrics
 	flumeTel      *flume.AgentTelemetry
@@ -196,6 +201,8 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 	inf.Telemetry = telemetry.NewRegistry()
 	inf.Tracer = telemetry.NewTracer(nil, 128)
 	inf.Healer = hdfs.NewSupervisor(inf.HDFS, 0)
+	inf.Events = telemetry.NewEventLog(nil, 512)
+	inf.SLOs = telemetry.NewSLOMonitor(nil)
 	inf.wireTelemetry()
 	inf.Bus = stream.NewMeteredBus(inf.Broker, inf.busMetrics, nil)
 

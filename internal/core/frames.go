@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// FrameEvent is one camera frame arriving at an edge device, annotated with
+// the local (exit-1) model's output so the fog tier can gate offloading on
+// confidence — the Figs. 5/7 early-exit architecture.
+type FrameEvent struct {
+	CameraID     string  `json:"cameraId"`
+	Seq          int     `json:"seq"`
+	Class        string  `json:"class"`        // local model's classification
+	Confidence   float64 `json:"confidence"`   // local model's confidence in [0,1]
+	RawBytes     int     `json:"rawBytes"`     // raw frame size
+	FeatureBytes int     `json:"featureBytes"` // intermediate feature-map size
+}
+
+// FrameStats is the frame pipeline's accounting: the usual Fig. 4 counters
+// plus the early-exit split and the per-frame trace ids, so callers can walk
+// each frame's causal tree across all four tiers.
+type FrameStats struct {
+	PipelineStats
+	Offloaded  int // frames below threshold whose feature maps went upstream
+	LocalExits int // frames the fog tier classified confidently
+	TraceIDs   []string
+}
+
+// inferenceGroup is the broker consumer group used by the analysis servers.
+const inferenceGroup = "inference-tier"
+
+// IngestFrames runs camera frames through the full four-tier path: edge
+// capture → fog early-exit gate → broker hop → server-side inference → cloud
+// archive (HBase annotation + HDFS feature map). One trace id per frame spans
+// every hop — the gate injects the root context into the record headers, and
+// the server side continues that trace from the polled record — so the whole
+// offload boundary collapses into a single causal tree.
+func (inf *Infrastructure) IngestFrames(frames []FrameEvent, threshold float64, archiveDir string) (FrameStats, error) {
+	var out FrameStats
+	for _, f := range frames {
+		ps, traceID, offloaded, err := inf.ingestFrame(f, threshold, archiveDir)
+		out.Collected += ps.Collected
+		out.Streamed += ps.Streamed
+		out.Stored += ps.Stored
+		out.Dropped += ps.Dropped
+		out.DeadLettered += ps.DeadLettered
+		out.Retries += ps.Retries
+		out.TraceIDs = append(out.TraceIDs, traceID)
+		if offloaded {
+			out.Offloaded++
+		} else {
+			out.LocalExits++
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// ingestFrame pushes one frame through all four tiers under a single trace.
+func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveDir string) (stats PipelineStats, traceID string, offload bool, err error) {
+	stats = PipelineStats{Collected: 1}
+	start := time.Now()
+	root := inf.traceIngest("ingest-frame")
+	rootCtx := root.Context()
+	traceID = rootCtx.TraceID
+	defer func() {
+		root.End()
+		inf.recordPipeline(&stats, start, rootCtx.TraceID)
+	}()
+
+	// Edge tier: frame capture plus the tiny exit-1 model.
+	spCapture := root.Child("capture")
+	spCapture.SetTier("edge")
+	body, merr := json.Marshal(f)
+	spCapture.End()
+	if merr != nil {
+		return stats, traceID, false, fmt.Errorf("marshal frame: %w", merr)
+	}
+
+	// Fog tier: the early-exit gate decides whether the frame's feature map
+	// must continue upstream, and stamps the decision — and the root trace
+	// context — onto the record headers that will cross the broker.
+	spGate := root.Child("early-exit-gate")
+	spGate.SetTier("fog")
+	offload = f.Confidence < threshold
+	headers := rootCtx.Inject(map[string]string{
+		"camera":  f.CameraID,
+		"seq":     strconv.Itoa(f.Seq),
+		"offload": strconv.FormatBool(offload),
+	})
+	spGate.End()
+
+	spProduce := root.Child("offload-produce")
+	spProduce.SetTier("fog")
+	cs, perr := inf.produceWithRetry("frames", f.CameraID, body, headers)
+	stats.Retries += cs.Retries
+	if perr != nil {
+		inf.deadLetter(&stats, "frames", "produce", f.CameraID, body, perr, rootCtx.TraceID)
+	}
+	spProduce.End()
+
+	// Server tier: drain the inference topic. Each record carries its own
+	// propagated context, so records from this frame, stragglers from earlier
+	// frames, and poisoned chaos records each land in their own trace. A
+	// failed poll consumed nothing (the fault seam injects before the read),
+	// so it redrives like the archive writes do.
+	for {
+		recs, cs, perr := inf.pollWithRetry(inferenceGroup, "frames", 4)
+		stats.Retries += cs.Retries
+		for round := 1; perr != nil && round <= inf.RedriveRounds; round++ {
+			recs, cs, perr = inf.pollWithRetry(inferenceGroup, "frames", 4)
+			stats.Retries += cs.Retries
+		}
+		if perr != nil {
+			return stats, traceID, offload, fmt.Errorf("poll frames: %w", perr)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		stats.Streamed += len(recs)
+		for _, rec := range recs {
+			inf.serveFrame(rec.Headers, rec.Key, rec.Value, root, rootCtx, archiveDir, &stats)
+		}
+	}
+	return stats, traceID, offload, nil
+}
+
+// serveFrame is the analysis-server side of the offload boundary: it
+// continues the trace propagated in the record headers, runs the remaining
+// model layers for offloaded frames, and archives the result into the cloud
+// tier (HBase annotation row, HDFS feature map).
+func (inf *Infrastructure) serveFrame(headers map[string]string, key string, value []byte, fallback *telemetry.Span, fallbackCtx telemetry.TraceContext, archiveDir string, stats *PipelineStats) {
+	ctx, ok := telemetry.Extract(headers)
+	var spInfer *telemetry.Span
+	if ok {
+		spInfer = inf.Tracer.StartRemote(ctx, "inference")
+	} else {
+		ctx = fallbackCtx
+		spInfer = fallback.Child("inference")
+	}
+	spInfer.SetTier("server")
+	defer spInfer.End()
+
+	var f FrameEvent
+	if err := json.Unmarshal(value, &f); err != nil {
+		inf.deadLetter(stats, "frames", "decode", key, value, err, ctx.TraceID)
+		return
+	}
+	offloaded := headers["offload"] == "true"
+
+	// Cloud tier: annotation row for random access, feature map for the
+	// batch/training path.
+	spArchive := spInfer.Child("archive")
+	spArchive.SetTier("cloud")
+	defer spArchive.End()
+	row := fmt.Sprintf("%s|%06d", f.CameraID, f.Seq)
+	putCell := func(family, qual string, val []byte) error {
+		op := func() error { return inf.VideoTab.Put(row, family, qual, val) }
+		cs, err := inf.Retry.DoStats(op)
+		stats.Retries += cs.Retries
+		for round := 1; err != nil && round <= inf.RedriveRounds; round++ {
+			cs, err = inf.Retry.DoStats(op)
+			stats.Retries += cs.Retries
+		}
+		return err
+	}
+	if err := putCell("det", "class", []byte(f.Class)); err != nil {
+		inf.deadLetter(stats, "frames", "hbase", row, value, err, ctx.TraceID)
+		return
+	}
+	stats.Stored++
+	if err := putCell("det", "confidence", []byte(strconv.FormatFloat(f.Confidence, 'f', 4, 64))); err != nil {
+		inf.deadLetter(stats, "frames", "hbase", row, value, err, ctx.TraceID)
+		return
+	}
+	stats.Stored++
+	if offloaded && archiveDir != "" {
+		path := fmt.Sprintf("%s/%s-%06d.feat", archiveDir, f.CameraID, f.Seq)
+		cs, err := inf.Retry.DoStats(func() error { return inf.HDFS.Write(path, value) })
+		stats.Retries += cs.Retries
+		if err != nil {
+			inf.deadLetter(stats, "frames", "hdfs", path, value, err, ctx.TraceID)
+			return
+		}
+		stats.Stored++
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"repro/internal/flume"
 	"repro/internal/geo"
 	"repro/internal/retry"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // PipelineStats counts one ingestion run (Fig. 4 report).
@@ -27,6 +29,16 @@ type PipelineStats struct {
 // storageGroup is the broker consumer group used by the storage tier.
 const storageGroup = "storage-tier"
 
+// recordTraceID resolves the trace id propagated on a record's headers,
+// falling back to the active ingest's id for records produced before
+// propagation existed (or by other producers).
+func recordTraceID(r stream.Record, fallback string) string {
+	if ctx, ok := telemetry.Extract(r.Headers); ok {
+		return ctx.TraceID
+	}
+	return fallback
+}
+
 // IngestTweets runs the Fig. 4 collection path for tweets: a Flume agent
 // pumps the collector output into the stream broker; the storage tier
 // drains the topic into the document store with geo and author indexes.
@@ -41,9 +53,10 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 	stats := PipelineStats{Collected: len(tweets)}
 	start := time.Now()
 	root := inf.traceIngest("ingest-tweets")
+	rootCtx := root.Context()
 	defer func() {
 		root.End()
-		inf.recordPipeline(&stats, start)
+		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
 
 	spCollect := root.Child("collect")
@@ -55,8 +68,11 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 			spCollect.End()
 			return PipelineStats{}, fmt.Errorf("marshal tweet: %w", err)
 		}
+		// The root's trace context rides the flume event headers, which the
+		// sink forwards onto the broker record — so the storage tier on the
+		// far side of the hop can continue this trace.
 		events[i] = flume.Event{
-			Headers: map[string]string{"author": tw.Author, "id": tw.ID},
+			Headers: rootCtx.Inject(map[string]string{"author": tw.Author, "id": tw.ID}),
 			Body:    body,
 		}
 	}
@@ -67,7 +83,7 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 	sink := flume.NewDedupSink(
 		func(e flume.Event) string { return e.Headers["id"] },
 		func(e flume.Event) error {
-			_, _, err := inf.Bus.Produce("tweets", e.Headers["author"], e.Body)
+			_, _, err := inf.Bus.ProduceH("tweets", e.Headers["author"], e.Body, e.Headers)
 			return err
 		},
 	)
@@ -86,10 +102,15 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 	stats.Retries += inf.redrive(dlq, sink, &stats, "tweets")
 	spStream.End()
 
-	// Storage tier: drain broker into docstore.
-	spStore := root.Child("store")
-	spStore.SetTier("server")
-	defer spStore.End()
+	// Storage tier: drain broker into docstore. The store span continues the
+	// trace context propagated on the first polled record, joining the
+	// producer's causal tree across the broker hop.
+	var spStore *telemetry.Span
+	defer func() {
+		if spStore != nil {
+			spStore.End()
+		}
+	}()
 	col := inf.DocDB.Collection("tweets")
 	for {
 		recs, cs, err := inf.pollWithRetry(storageGroup, "tweets", 256)
@@ -100,11 +121,14 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 		if len(recs) == 0 {
 			break
 		}
+		if spStore == nil {
+			spStore = inf.remoteTierSpan(recs, root, "store", "server")
+		}
 		stats.Streamed += len(recs)
 		for _, r := range recs {
 			var tw citydata.Tweet
 			if err := json.Unmarshal(r.Value, &tw); err != nil {
-				inf.deadLetter(&stats, "tweets", "decode", r.Key, r.Value, err)
+				inf.deadLetter(&stats, "tweets", "decode", r.Key, r.Value, err, recordTraceID(r, rootCtx.TraceID))
 				continue
 			}
 			doc := docstore.Document{
@@ -117,7 +141,7 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 			cs, err := inf.storeWithRedrive(col, doc)
 			stats.Retries += cs.Retries
 			if err != nil {
-				inf.deadLetter(&stats, "tweets", "store", tw.ID, r.Value, err)
+				inf.deadLetter(&stats, "tweets", "store", tw.ID, r.Value, err, recordTraceID(r, rootCtx.TraceID))
 				continue
 			}
 			stats.Stored++
@@ -145,16 +169,21 @@ func (inf *Infrastructure) redrive(dlq *retry.DLQ[flume.Event], sink *flume.Dedu
 		}
 	}
 	for _, l := range dlq.Drain() {
-		inf.deadLetter(stats, source, "produce", l.Item.Headers["id"], l.Item.Body, errors.New(l.Cause))
+		tid := ""
+		if ctx, ok := telemetry.Extract(l.Item.Headers); ok {
+			tid = ctx.TraceID
+		}
+		inf.deadLetter(stats, source, "produce", l.Item.Headers["id"], l.Item.Body, errors.New(l.Cause), tid)
 	}
 	return retries
 }
 
 // deadLetter quarantines one failed record and keeps the books: captured
 // records count as DeadLettered, records the quarantine itself cannot hold
-// count as Dropped.
-func (inf *Infrastructure) deadLetter(stats *PipelineStats, source, stage, key string, body []byte, cause error) {
-	if inf.quarantine(source, stage, key, body, cause) {
+// count as Dropped. traceID ties the quarantine back to the ingest run (or
+// the propagated producer trace) it fell out of.
+func (inf *Infrastructure) deadLetter(stats *PipelineStats, source, stage, key string, body []byte, cause error, traceID string) {
+	if inf.quarantine(source, stage, key, body, cause, traceID) {
 		stats.DeadLettered++
 	} else {
 		stats.Dropped++
@@ -167,30 +196,35 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 	stats := PipelineStats{Collected: len(reports)}
 	start := time.Now()
 	root := inf.traceIngest("ingest-waze")
+	rootCtx := root.Context()
 	defer func() {
 		root.End()
-		inf.recordPipeline(&stats, start)
+		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
 
 	spStream := root.Child("stream")
 	spStream.SetTier("fog")
+	hdrs := rootCtx.Inject(nil)
 	for _, r := range reports {
 		body, err := json.Marshal(r)
 		if err != nil {
 			spStream.End()
 			return stats, fmt.Errorf("marshal waze: %w", err)
 		}
-		cs, err := inf.produceWithRetry("waze", string(r.Kind), body)
+		cs, err := inf.produceWithRetry("waze", string(r.Kind), body, hdrs)
 		stats.Retries += cs.Retries
 		if err != nil {
-			inf.deadLetter(&stats, "waze", "produce", r.ID, body, err)
+			inf.deadLetter(&stats, "waze", "produce", r.ID, body, err, rootCtx.TraceID)
 		}
 	}
 	spStream.End()
 
-	spStore := root.Child("store")
-	spStore.SetTier("server")
-	defer spStore.End()
+	var spStore *telemetry.Span
+	defer func() {
+		if spStore != nil {
+			spStore.End()
+		}
+	}()
 	col := inf.DocDB.Collection("waze")
 	for {
 		recs, cs, err := inf.pollWithRetry(storageGroup, "waze", 256)
@@ -201,11 +235,14 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 		if len(recs) == 0 {
 			break
 		}
+		if spStore == nil {
+			spStore = inf.remoteTierSpan(recs, root, "store", "server")
+		}
 		stats.Streamed += len(recs)
 		for _, rec := range recs {
 			var r citydata.WazeReport
 			if err := json.Unmarshal(rec.Value, &r); err != nil {
-				inf.deadLetter(&stats, "waze", "decode", rec.Key, rec.Value, err)
+				inf.deadLetter(&stats, "waze", "decode", rec.Key, rec.Value, err, recordTraceID(rec, rootCtx.TraceID))
 				continue
 			}
 			doc := docstore.Document{
@@ -220,7 +257,7 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 			cs, err := inf.storeWithRedrive(col, doc)
 			stats.Retries += cs.Retries
 			if err != nil {
-				inf.deadLetter(&stats, "waze", "store", r.ID, rec.Value, err)
+				inf.deadLetter(&stats, "waze", "store", r.ID, rec.Value, err, recordTraceID(rec, rootCtx.TraceID))
 				continue
 			}
 			stats.Stored++
@@ -244,9 +281,10 @@ func (inf *Infrastructure) IngestCrimes(incidents []citydata.Incident, archivePa
 	stats := PipelineStats{Collected: len(incidents)}
 	start := time.Now()
 	root := inf.traceIngest("ingest-crimes")
+	rootCtx := root.Context()
 	defer func() {
 		root.End()
-		inf.recordPipeline(&stats, start)
+		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
 
 	put := func(row, family, qualifier string, value []byte) error {
@@ -277,7 +315,7 @@ incidents:
 		for q, v := range puts {
 			if err := put(row, "meta", q, []byte(v)); err != nil {
 				raw, _ := json.Marshal(inc)
-				inf.deadLetter(&stats, "crimes", "hbase", inc.ReportNumber, raw, err)
+				inf.deadLetter(&stats, "crimes", "hbase", inc.ReportNumber, raw, err, rootCtx.TraceID)
 				continue incidents
 			}
 			stats.Stored++
@@ -286,7 +324,7 @@ incidents:
 			v := p.Role + ":" + p.ID
 			if err := put(row, "persons", strconv.Itoa(i), []byte(v)); err != nil {
 				raw, _ := json.Marshal(inc)
-				inf.deadLetter(&stats, "crimes", "hbase", inc.ReportNumber, raw, err)
+				inf.deadLetter(&stats, "crimes", "hbase", inc.ReportNumber, raw, err, rootCtx.TraceID)
 				continue incidents
 			}
 			stats.Stored++
@@ -317,30 +355,35 @@ func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, e
 	stats := PipelineStats{Collected: len(calls)}
 	start := time.Now()
 	root := inf.traceIngest("ingest-911")
+	rootCtx := root.Context()
 	defer func() {
 		root.End()
-		inf.recordPipeline(&stats, start)
+		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
 
 	spStream := root.Child("stream")
 	spStream.SetTier("fog")
+	hdrs := rootCtx.Inject(nil)
 	for _, c := range calls {
 		body, err := json.Marshal(c)
 		if err != nil {
 			spStream.End()
 			return stats, fmt.Errorf("marshal 911: %w", err)
 		}
-		cs, err := inf.produceWithRetry("calls911", c.Category, body)
+		cs, err := inf.produceWithRetry("calls911", c.Category, body, hdrs)
 		stats.Retries += cs.Retries
 		if err != nil {
-			inf.deadLetter(&stats, "calls911", "produce", c.ID, body, err)
+			inf.deadLetter(&stats, "calls911", "produce", c.ID, body, err, rootCtx.TraceID)
 		}
 	}
 	spStream.End()
 
-	spStore := root.Child("store")
-	spStore.SetTier("server")
-	defer spStore.End()
+	var spStore *telemetry.Span
+	defer func() {
+		if spStore != nil {
+			spStore.End()
+		}
+	}()
 	col := inf.DocDB.Collection("calls911")
 	for {
 		recs, cs, err := inf.pollWithRetry(storageGroup, "calls911", 256)
@@ -351,11 +394,14 @@ func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, e
 		if len(recs) == 0 {
 			break
 		}
+		if spStore == nil {
+			spStore = inf.remoteTierSpan(recs, root, "store", "server")
+		}
 		stats.Streamed += len(recs)
 		for _, rec := range recs {
 			var c citydata.Call911
 			if err := json.Unmarshal(rec.Value, &c); err != nil {
-				inf.deadLetter(&stats, "calls911", "decode", rec.Key, rec.Value, err)
+				inf.deadLetter(&stats, "calls911", "decode", rec.Key, rec.Value, err, recordTraceID(rec, rootCtx.TraceID))
 				continue
 			}
 			doc := docstore.Document{
@@ -368,7 +414,7 @@ func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, e
 			cs, err := inf.storeWithRedrive(col, doc)
 			stats.Retries += cs.Retries
 			if err != nil {
-				inf.deadLetter(&stats, "calls911", "store", c.ID, rec.Value, err)
+				inf.deadLetter(&stats, "calls911", "store", c.ID, rec.Value, err, recordTraceID(rec, rootCtx.TraceID))
 				continue
 			}
 			stats.Stored++

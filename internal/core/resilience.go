@@ -5,6 +5,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/retry"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // EnableChaos attaches a deterministic fault injector to every storage and
@@ -21,6 +22,7 @@ func (inf *Infrastructure) EnableChaos(inj *faults.Injector) {
 	inf.CrimeTab.SetFaultHook(inj.HBaseHook())
 	inf.VideoTab.SetFaultHook(inj.HBaseHook())
 	inf.storeFault = inj.StoreHook()
+	inf.Events.Log(telemetry.LevelWarn, "chaos", "", "fault injection enabled on broker, HDFS, HBase, and docstore seams")
 }
 
 // DisableChaos detaches the injector and restores direct seams.
@@ -31,15 +33,17 @@ func (inf *Infrastructure) DisableChaos() {
 	inf.CrimeTab.SetFaultHook(nil)
 	inf.VideoTab.SetFaultHook(nil)
 	inf.storeFault = nil
+	inf.Events.Log(telemetry.LevelInfo, "chaos", "", "fault injection disabled; direct seams restored")
 }
 
 // produceWithRetry pushes one record through the bus under the shared
 // policy, returning this call's own retry accounting. Callers fold the
 // CallStats into their pipeline stats instead of diffing the policy-wide
-// counters, which would double-count when two ingests interleave.
-func (inf *Infrastructure) produceWithRetry(topic, key string, body []byte) (retry.CallStats, error) {
+// counters, which would double-count when two ingests interleave. headers
+// carry the producing trace's context across the broker hop (nil is fine).
+func (inf *Infrastructure) produceWithRetry(topic, key string, body []byte, headers map[string]string) (retry.CallStats, error) {
 	return inf.Retry.DoStats(func() error {
-		_, _, err := inf.Bus.Produce(topic, key, body)
+		_, _, err := inf.Bus.ProduceH(topic, key, body, headers)
 		return err
 	})
 }
@@ -93,8 +97,10 @@ func (inf *Infrastructure) storeWithRedrive(col *docstore.Collection, doc docsto
 // quarantine parks an undeliverable record in the dead-letter collection so
 // it can be inspected and replayed instead of being lost. It reports whether
 // the record was captured; the dead-letter store itself is not subject to
-// chaos (it is the thing that must not fail).
-func (inf *Infrastructure) quarantine(source, stage, key string, body []byte, cause error) bool {
+// chaos (it is the thing that must not fail). traceID links the quarantined
+// record — in both the stored document and the event log — back to the
+// ingestion trace it fell out of.
+func (inf *Infrastructure) quarantine(source, stage, key string, body []byte, cause error, traceID string) bool {
 	doc := docstore.Document{
 		"source": source,
 		"stage":  stage,
@@ -102,7 +108,17 @@ func (inf *Infrastructure) quarantine(source, stage, key string, body []byte, ca
 		"body":   string(body),
 		"cause":  cause.Error(),
 	}
+	if traceID != "" {
+		doc["traceId"] = traceID
+	}
 	_, err := inf.DocDB.Collection("deadletter").Insert(doc)
+	if err == nil {
+		inf.Events.Log(telemetry.LevelWarn, "deadletter", traceID,
+			"%s/%s record %q quarantined: %v", source, stage, key, cause)
+	} else {
+		inf.Events.Log(telemetry.LevelError, "deadletter", traceID,
+			"%s/%s record %q dropped — quarantine failed: %v", source, stage, key, cause)
+	}
 	return err == nil
 }
 

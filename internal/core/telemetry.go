@@ -114,6 +114,45 @@ func (inf *Infrastructure) wireTelemetry() {
 		r.GaugeFunc(label("cityinfra_hbase_store_files"), "immutable store files",
 			func() float64 { return float64(tab.Stats().StoreFiles) })
 	}
+
+	// Event log: state changes from the breaker, the HDFS healer, and the
+	// HBase lifecycle land in the bounded ring served at /api/events. These
+	// are infrastructure-wide transitions, not per-request ones, so they log
+	// without a trace id; per-record events (dead letters) attach theirs at
+	// the call site.
+	inf.Breaker.SetOnStateChange(func(from, to retry.BreakerState) {
+		level := telemetry.LevelWarn
+		if to == retry.Closed {
+			level = telemetry.LevelInfo
+		}
+		inf.Events.Log(level, "breaker", "", "circuit breaker %s → %s", from, to)
+	})
+	inf.Healer.SetOnRepair(func(created int, err error) {
+		if err != nil {
+			inf.Events.Log(telemetry.LevelError, "healer", "", "re-replication pass failed after %d replicas: %v", created, err)
+			return
+		}
+		inf.Events.Log(telemetry.LevelWarn, "healer", "", "re-replicated %d under-replicated block replicas", created)
+	})
+	for _, tab := range []*hbase.Table{inf.CrimeTab, inf.VideoTab} {
+		tab := tab
+		tab.SetEventHook(func(event, detail string) {
+			inf.Events.Log(telemetry.LevelInfo, "hbase/"+tab.Name(), "", "%s: %s", event, detail)
+		})
+	}
+
+	// SLOs over the cumulative pipeline counters: delivery (every collected
+	// event either lands in a store or is at least quarantined for replay)
+	// and end-to-end ingest latency under one second.
+	inf.SLOs.Add("ingest-delivery", 0.999, time.Hour,
+		func() float64 {
+			return float64(inf.pipeCollected.Value()) -
+				float64(inf.pipeDropped.Value()) - float64(inf.pipeDeadLettered.Value())
+		},
+		func() float64 { return float64(inf.pipeCollected.Value()) })
+	inf.SLOs.Add("ingest-latency-1s", 0.95, time.Hour,
+		func() float64 { return float64(inf.ingestSeconds.CountAtOrBelow(1.0)) },
+		func() float64 { return float64(inf.ingestSeconds.Count()) })
 }
 
 // traceIngest opens a trace for one pipeline run and returns its root span.
@@ -125,13 +164,33 @@ func (inf *Infrastructure) traceIngest(source string) *telemetry.Span {
 }
 
 // recordPipeline folds one run's stats into the cumulative pipeline counters
-// and observes its end-to-end latency.
-func (inf *Infrastructure) recordPipeline(stats *PipelineStats, start time.Time) {
+// and observes its end-to-end latency, offering the run's trace id as a
+// histogram exemplar so a tail-latency bucket on /metrics resolves to an
+// inspectable trace.
+func (inf *Infrastructure) recordPipeline(stats *PipelineStats, start time.Time, traceID string) {
 	inf.pipeCollected.Add(stats.Collected)
 	inf.pipeStreamed.Add(stats.Streamed)
 	inf.pipeStored.Add(stats.Stored)
 	inf.pipeDropped.Add(stats.Dropped)
 	inf.pipeDeadLettered.Add(stats.DeadLettered)
 	inf.pipeRetries.Add(stats.Retries)
-	inf.ingestSeconds.Observe(time.Since(start).Seconds())
+	inf.ingestSeconds.ObserveExemplar(time.Since(start).Seconds(), traceID)
+}
+
+// remoteTierSpan opens the consumer-side span of a broker hop: it continues
+// the trace propagated in the first record's headers (the producer injected
+// its root context before the hop), falling back to a local child of the
+// running ingest when no context survived — so the storage tier's work is
+// never orphaned from the causal tree.
+func (inf *Infrastructure) remoteTierSpan(recs []stream.Record, fallback *telemetry.Span, name, tier string) *telemetry.Span {
+	if len(recs) > 0 {
+		if ctx, ok := telemetry.Extract(recs[0].Headers); ok {
+			s := inf.Tracer.StartRemote(ctx, name)
+			s.SetTier(tier)
+			return s
+		}
+	}
+	s := fallback.Child(name)
+	s.SetTier(tier)
+	return s
 }

@@ -66,6 +66,7 @@ var registry = []registration{
 	{"E17", "§II.C — distributed graph analytics (PageRank, components)", E17GraphAnalytics},
 	{"E18", "robustness — chaos sweep vs retry/breaker/DLQ hardening", E18ChaosPipeline},
 	{"E19", "telemetry — per-tier latency attribution across offload thresholds", E19LatencyAttribution},
+	{"E20", "observability — traced chaos sweep: propagation, exemplars, SLO burn", E20TracedChaosSweep},
 }
 
 // IDs lists experiment ids in order.

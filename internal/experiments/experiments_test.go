@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("registry has %d experiments, want 19 (E1..E19)", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("registry has %d experiments, want 20 (E1..E20)", len(ids))
 	}
 	titles := Titles()
 	for _, id := range ids {
@@ -138,5 +138,23 @@ func TestE19(t *testing.T) {
 	// three thresholds. Check the summary shape: one row per threshold.
 	if res.Tables[1].NumRows() != 3 {
 		t.Fatalf("summary rows = %d", res.Tables[1].NumRows())
+	}
+}
+
+func TestE20(t *testing.T) {
+	res := runAndCheck(t, "E20")
+	// The runner enforces the hard claims internally: every baseline trace's
+	// breakdown sums exactly to its root duration, the chaos arm moves the
+	// delivery burn rate, the worst exemplar resolves, and the simulator
+	// replay's attribution equals simulated latency. Check the table shape:
+	// attribution must cover all four tiers.
+	out := res.String()
+	for _, tier := range []string{"edge", "fog", "server", "cloud"} {
+		if !strings.Contains(out, tier) {
+			t.Fatalf("E20 attribution missing tier %s:\n%s", tier, out)
+		}
+	}
+	if res.Tables[1].NumRows() != 2 {
+		t.Fatalf("slo rows = %d", res.Tables[1].NumRows())
 	}
 }

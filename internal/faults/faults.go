@@ -206,10 +206,15 @@ func NewFlakyBus(inner stream.Bus, inj *Injector) *FlakyBus {
 
 // Produce injects on the "bus.produce" op, then forwards.
 func (b *FlakyBus) Produce(topic, key string, value []byte) (int, int64, error) {
+	return b.ProduceH(topic, key, value, nil)
+}
+
+// ProduceH injects on the "bus.produce" op, then forwards with headers.
+func (b *FlakyBus) ProduceH(topic, key string, value []byte, headers map[string]string) (int, int64, error) {
 	if f := b.inj.Decide("bus.produce"); f.Err != nil {
 		return 0, 0, f.Err
 	}
-	return b.inner.Produce(topic, key, value)
+	return b.inner.ProduceH(topic, key, value, headers)
 }
 
 // Poll injects on the "bus.poll" op, then forwards.

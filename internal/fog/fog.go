@@ -164,6 +164,20 @@ type Job struct {
 	ID        string
 	ReleaseMs float64
 	Steps     []Step
+	// Headers carry propagated metadata — most importantly trace context —
+	// through the simulator: results retain them, so a job's per-step
+	// timeline can be replayed as spans into the trace that released it.
+	Headers map[string]string
+}
+
+// StepTiming is one step's position on the simulated timeline: the stage
+// label ("fog" for compute, "fog→server" for transfers), when its queueing
+// wait began, and how the time split between waiting and service.
+type StepTiming struct {
+	Stage     string
+	ReadyMs   float64 // when the step became runnable (wait starts here)
+	WaitMs    float64
+	ServiceMs float64
 }
 
 // JobResult records one job's outcome.
@@ -173,6 +187,11 @@ type JobResult struct {
 	FinishMs      float64
 	LatencyMs     float64
 	UpstreamBytes int
+	Headers       map[string]string
+	// Timeline lists the job's steps in execution order. Waits and services
+	// chain gaplessly from release to finish, so Σ(Wait+Service) equals
+	// LatencyMs exactly.
+	Timeline []StepTiming
 }
 
 // TierStats aggregates per-tier busy time.
@@ -231,11 +250,12 @@ type resource struct {
 // time-ordered dispatch over shared resources suffices. We process jobs in
 // release order; each step waits for its resource's freeAt.
 type jobState struct {
-	job     *Job
-	stepIdx int
-	readyAt float64
-	started float64
-	bytes   int
+	job      *Job
+	stepIdx  int
+	readyAt  float64
+	started  float64
+	bytes    int
+	timeline []StepTiming
 }
 
 // pq orders job states by readiness time (then id for determinism).
@@ -309,6 +329,9 @@ func (t *Topology) Run(jobs []Job) (*Results, error) {
 			end = start + dur
 			r.freeAt = end
 			attribute(node.Tier.String(), start-st.readyAt, dur)
+			st.timeline = append(st.timeline, StepTiming{
+				Stage: node.Tier.String(), ReadyMs: st.readyAt, WaitMs: start - st.readyAt, ServiceMs: dur,
+			})
 			ts := res.BusyByTier[node.Tier]
 			ts.BusyMs += dur
 			if st.started < 0 {
@@ -326,8 +349,11 @@ func (t *Topology) Run(jobs []Job) (*Results, error) {
 			dur := link.LatencyMs + float64(s.Bytes)/link.BytesPerMs
 			end = start + dur
 			r.freeAt = end
-			attribute(t.nodes[s.From].Tier.String()+"→"+t.nodes[s.To].Tier.String(),
-				start-st.readyAt, dur)
+			stage := t.nodes[s.From].Tier.String() + "→" + t.nodes[s.To].Tier.String()
+			attribute(stage, start-st.readyAt, dur)
+			st.timeline = append(st.timeline, StepTiming{
+				Stage: stage, ReadyMs: st.readyAt, WaitMs: start - st.readyAt, ServiceMs: dur,
+			})
 			st.bytes += s.Bytes
 			res.BytesByLink[key] += s.Bytes
 			res.TotalBytes += s.Bytes
@@ -349,6 +375,8 @@ func (t *Topology) Run(jobs []Job) (*Results, error) {
 			FinishMs:      end,
 			LatencyMs:     end - st.job.ReleaseMs,
 			UpstreamBytes: st.bytes,
+			Headers:       st.job.Headers,
+			Timeline:      st.timeline,
 		}
 		res.Jobs = append(res.Jobs, jr)
 		latencies = append(latencies, jr.LatencyMs)

@@ -1,0 +1,44 @@
+package fog
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ReplayTrace replays a simulated job's per-step timeline as spans into the
+// trace that released it, resolved from the trace context propagated through
+// the job's headers. Simulator milliseconds are mapped onto the wall clock as
+// offsets from epoch. Each step contributes a queueing-wait span (omitted
+// when the wait was zero) and a service span; because a job's waits and
+// services chain gaplessly from release to finish, the emitted children sum
+// exactly to the root's duration and TraceView.Breakdown stays an exact
+// attribution of the simulated latency.
+//
+// When the releasing trace is not retained in t (it was evicted, or the job
+// came from another process), the job is re-rooted locally as "job <id>"
+// spanning release→finish so the replay still forms one causal tree. Returns
+// false when the result carries no trace context.
+func ReplayTrace(t *telemetry.Tracer, epoch time.Time, jr JobResult) bool {
+	ctx, ok := telemetry.Extract(jr.Headers)
+	if !ok {
+		return false
+	}
+	at := func(ms float64) time.Time {
+		return epoch.Add(time.Duration(ms * float64(time.Millisecond)))
+	}
+	releaseMs := jr.FinishMs - jr.LatencyMs
+	if _, err := t.Trace(ctx.TraceID); err != nil {
+		root := t.StartAt(ctx.TraceID, "job "+jr.ID, at(releaseMs))
+		root.EndAt(at(jr.FinishMs))
+		ctx = root.Context()
+	}
+	for _, st := range jr.Timeline {
+		startMs := st.ReadyMs + st.WaitMs
+		if st.WaitMs > 0 {
+			t.SpanAt(ctx, st.Stage+" wait", st.Stage, at(st.ReadyMs), at(startMs))
+		}
+		t.SpanAt(ctx, st.Stage, st.Stage, at(startMs), at(startMs+st.ServiceMs))
+	}
+	return true
+}

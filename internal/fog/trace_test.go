@@ -1,0 +1,128 @@
+package fog
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func traceTopo(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	if err := topo.AddNode("e", Edge, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddNode("s", Server, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink("e", "s", 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// ReplayTrace must fold each job's wait/service timeline into the trace that
+// released it, with the span attribution summing exactly to the simulated
+// latency — the offline counterpart of the live pipeline's breakdown claim.
+func TestReplayTraceFoldsTimelineIntoReleasingTrace(t *testing.T) {
+	topo := traceTopo(t)
+	tracer := telemetry.NewTracer(nil, 8)
+	epoch := time.Now()
+
+	steps := []Step{
+		ComputeStep{NodeID: "e", Ops: 50},
+		TransferStep{From: "e", To: "s", Bytes: 1000},
+		ComputeStep{NodeID: "s", Ops: 200},
+	}
+	// Two jobs sharing the edge node: the second queues, so its replay must
+	// include a wait span.
+	jobs := make([]Job, 2)
+	roots := make(map[string]*telemetry.Span, len(jobs))
+	for i := range jobs {
+		id := []string{"sim-0", "sim-1"}[i]
+		root := tracer.StartAt(id, "frame", epoch)
+		roots[id] = root
+		jobs[i] = Job{ID: id, Steps: steps, Headers: root.Context().Inject(nil)}
+	}
+	res, err := topo.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawWait := false
+	for _, jr := range res.Jobs {
+		if len(jr.Timeline) == 0 {
+			t.Fatalf("job %s carried no timeline", jr.ID)
+		}
+		if !ReplayTrace(tracer, epoch, jr) {
+			t.Fatalf("job %s lost its trace context", jr.ID)
+		}
+		roots[jr.ID].EndAt(epoch.Add(time.Duration(jr.FinishMs * float64(time.Millisecond))))
+
+		tv, err := tracer.Trace(jr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, st := range tv.Breakdown() {
+			sum += st.ExclusiveMs
+			if st.Stage != "frame" && st.Tier == "" {
+				t.Fatalf("replayed span missing tier tag: %+v", st)
+			}
+			if st.Stage == "edge wait" {
+				sawWait = true
+			}
+		}
+		// Root spans release→finish; waits and services chain gaplessly, so
+		// the exclusive times must reproduce the simulated latency exactly.
+		if math.Abs(sum-jr.LatencyMs) > 1e-9 {
+			t.Fatalf("job %s: replay attribution %g ms, simulated latency %g ms", jr.ID, sum, jr.LatencyMs)
+		}
+	}
+	if !sawWait {
+		t.Fatal("queued job replayed without a wait span")
+	}
+}
+
+func TestReplayTraceWithoutHeaders(t *testing.T) {
+	topo := traceTopo(t)
+	res, err := topo.Run([]Job{{ID: "anon", Steps: []Step{ComputeStep{NodeID: "e", Ops: 10}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ReplayTrace(telemetry.NewTracer(nil, 8), time.Now(), res.Jobs[0]) {
+		t.Fatal("headerless job claimed a trace context")
+	}
+}
+
+// A releasing trace evicted from the ring (or owned by another process) is
+// re-rooted rather than dropped: the id stays resolvable and the re-rooted
+// span covers release→finish.
+func TestReplayTraceReRootsEvictedTrace(t *testing.T) {
+	topo := traceTopo(t)
+	ctx := telemetry.TraceContext{TraceID: "gone", SpanID: 0}
+	res, err := topo.Run([]Job{{
+		ID: "gone", Steps: []Step{ComputeStep{NodeID: "e", Ops: 50}},
+		Headers: ctx.Inject(nil),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := telemetry.NewTracer(nil, 8)
+	epoch := time.Now()
+	if !ReplayTrace(tracer, epoch, res.Jobs[0]) {
+		t.Fatal("replay of evicted trace failed")
+	}
+	tv, err := tracer.Trace("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.Spans[0].Name != "job gone" {
+		t.Fatalf("re-rooted trace = %+v", tv.Spans[0])
+	}
+	if math.Abs(tv.DurationMs-res.Jobs[0].LatencyMs) > 1e-9 {
+		t.Fatalf("re-rooted duration %g, latency %g", tv.DurationMs, res.Jobs[0].LatencyMs)
+	}
+}

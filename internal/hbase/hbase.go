@@ -83,6 +83,7 @@ type Table struct {
 	clock    int64
 	closed   bool
 	hook     FaultHook
+	events   EventHook
 
 	// Metrics.
 	flushes     int
@@ -123,6 +124,25 @@ func (t *Table) SetFaultHook(h FaultHook) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.hook = h
+}
+
+// EventHook observes table lifecycle transitions ("flush", "compact",
+// "recover") with a human-readable detail. The hook runs with the table's
+// lock held — it must not call back into the table; logging is the intended
+// use.
+type EventHook func(event, detail string)
+
+// SetEventHook installs (or clears, with nil) the lifecycle event hook.
+func (t *Table) SetEventHook(h EventHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = h
+}
+
+func (t *Table) eventLocked(event, detail string) {
+	if t.events != nil {
+		t.events(event, detail)
+	}
 }
 
 func (t *Table) faultLocked(op string) error {
@@ -208,11 +228,13 @@ func (t *Table) flushLocked() error {
 		return fmt.Errorf("flush %s: %w", t.name, err)
 	}
 	t.files = append([]*storeFile{sf}, t.files...)
+	flushed := t.memCount
 	t.memstore = make(map[string][]Cell)
 	t.memCount = 0
 	t.wal = nil
 	t.walSeq++
 	t.flushes++
+	t.eventLocked("flush", fmt.Sprintf("memstore flushed %d cells to %s", flushed, sf.path))
 	if len(t.files) >= t.cfg.CompactThreshold {
 		if err := t.compactLocked(); err != nil {
 			return err
@@ -291,6 +313,7 @@ func (t *Table) compactLocked() error {
 	}
 	t.files = []*storeFile{sf}
 	t.compactions++
+	t.eventLocked("compact", fmt.Sprintf("merged store files into %s (%d live cells)", sf.path, len(cells)))
 	return nil
 }
 
@@ -469,6 +492,7 @@ func (t *Table) CrashAndRecover() (int, error) {
 		t.memCount++
 		replayed++
 	}
+	t.eventLocked("recover", fmt.Sprintf("WAL replay restored %d cells after crash", replayed))
 	return replayed, nil
 }
 

@@ -23,10 +23,20 @@ type Supervisor struct {
 	c        *Cluster
 	interval time.Duration
 
-	mu    sync.Mutex
-	stats SupervisorStats
-	stop  chan struct{}
-	done  chan struct{}
+	mu       sync.Mutex
+	stats    SupervisorStats
+	onRepair func(created int, err error)
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// SetOnRepair installs a callback invoked after every tick that found
+// under-replication — the state change an operator event log wants to
+// record. The callback runs outside the supervisor's lock.
+func (s *Supervisor) SetOnRepair(fn func(created int, err error)) {
+	s.mu.Lock()
+	s.onRepair = fn
+	s.mu.Unlock()
 }
 
 // NewSupervisor builds a supervisor for the cluster; interval is the
@@ -54,7 +64,11 @@ func (s *Supervisor) Tick() (created int, err error) {
 	if err != nil {
 		s.stats.Errors++
 	}
+	fn := s.onRepair
 	s.mu.Unlock()
+	if under > 0 && fn != nil {
+		fn(created, err)
+	}
 	return created, err
 }
 

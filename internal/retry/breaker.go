@@ -76,6 +76,7 @@ type Breaker struct {
 	probeOKs    int // probe successes while half-open
 	openedAt    time.Time
 	stats       BreakerStats
+	onChange    func(from, to BreakerState)
 }
 
 // NewBreaker builds a breaker on the given clock (nil means a ManualClock).
@@ -96,6 +97,26 @@ func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
 	return &Breaker{cfg: cfg, clock: clock}
 }
 
+// SetOnStateChange installs a callback observing every state transition —
+// how the event log learns the breaker opened without polling. The callback
+// runs with the breaker's lock held, so it must not call back into the
+// breaker; logging is fine.
+func (b *Breaker) SetOnStateChange(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onChange = fn
+}
+
+// transitionLocked moves to a new state and fires the observer; callers hold
+// b.mu.
+func (b *Breaker) transitionLocked(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.onChange != nil && from != to {
+		b.onChange(from, to)
+	}
+}
+
 // Allow reports whether an attempt may proceed, transitioning Open →
 // HalfOpen once the open window has elapsed.
 func (b *Breaker) Allow() bool {
@@ -106,7 +127,7 @@ func (b *Breaker) Allow() bool {
 		return true
 	case Open:
 		if b.clock.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
-			b.state = HalfOpen
+			b.transitionLocked(HalfOpen)
 			b.probes = 1
 			b.probeOKs = 0
 			b.stats.HalfOpened++
@@ -134,7 +155,7 @@ func (b *Breaker) OnSuccess() {
 	case HalfOpen:
 		b.probeOKs++
 		if b.probeOKs >= b.cfg.HalfOpenProbes {
-			b.state = Closed
+			b.transitionLocked(Closed)
 			b.consecFails = 0
 			b.stats.Closed++
 		}
@@ -159,7 +180,7 @@ func (b *Breaker) OnFailure() {
 
 // trip moves to Open; callers hold b.mu.
 func (b *Breaker) trip() {
-	b.state = Open
+	b.transitionLocked(Open)
 	b.openedAt = b.clock.Now()
 	b.consecFails = 0
 	b.stats.Opened++

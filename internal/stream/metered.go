@@ -61,8 +61,13 @@ func (b *MeteredBus) Unwrap() Bus { return b.next }
 
 // Produce forwards to the underlying bus, recording latency and outcome.
 func (b *MeteredBus) Produce(topicName, key string, value []byte) (int, int64, error) {
+	return b.ProduceH(topicName, key, value, nil)
+}
+
+// ProduceH forwards to the underlying bus, recording latency and outcome.
+func (b *MeteredBus) ProduceH(topicName, key string, value []byte, headers map[string]string) (int, int64, error) {
 	start := b.now()
-	p, off, err := b.next.Produce(topicName, key, value)
+	p, off, err := b.next.ProduceH(topicName, key, value, headers)
 	b.m.ProduceSeconds.Observe(b.now().Sub(start).Seconds())
 	if err != nil {
 		b.m.ProduceErrors.Inc()

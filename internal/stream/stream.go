@@ -32,6 +32,10 @@ var (
 // wrap it without the pipelines knowing.
 type Bus interface {
 	Produce(topicName, key string, value []byte) (partitionID int, offset int64, err error)
+	// ProduceH is Produce with per-record headers — the metadata channel
+	// that carries trace context (and other small annotations) across the
+	// broker hop to whoever polls the record.
+	ProduceH(topicName, key string, value []byte, headers map[string]string) (partitionID int, offset int64, err error)
 	Poll(groupName, topicName string, max int) ([]Record, error)
 }
 
@@ -42,7 +46,11 @@ type Record struct {
 	Offset    int64
 	Key       string
 	Value     []byte
-	Time      time.Time
+	// Headers carry per-record metadata end to end; the broker copies the
+	// map on produce so later mutation by the producer cannot corrupt the
+	// log.
+	Headers map[string]string
+	Time    time.Time
 }
 
 type partition struct {
@@ -136,6 +144,12 @@ func partitionFor(key string, n int) int {
 // key to partition 0..n cycling is not provided; empty keys hash together).
 // It returns the assigned partition and offset.
 func (b *Broker) Produce(topicName, key string, value []byte) (partitionID int, offset int64, err error) {
+	return b.ProduceH(topicName, key, value, nil)
+}
+
+// ProduceH appends a record with headers, copying both the value and the
+// header map into the log.
+func (b *Broker) ProduceH(topicName, key string, value []byte, headers map[string]string) (partitionID int, offset int64, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	t, ok := b.topics[topicName]
@@ -147,8 +161,15 @@ func (b *Broker) Produce(topicName, key string, value []byte) (partitionID int, 
 	off := int64(len(part.records))
 	v := make([]byte, len(value))
 	copy(v, value)
+	var h map[string]string
+	if len(headers) > 0 {
+		h = make(map[string]string, len(headers))
+		for k, val := range headers {
+			h[k] = val
+		}
+	}
 	part.records = append(part.records, Record{
-		Topic: topicName, Partition: p, Offset: off, Key: key, Value: v, Time: b.now(),
+		Topic: topicName, Partition: p, Offset: off, Key: key, Value: v, Headers: h, Time: b.now(),
 	})
 	return p, off, nil
 }

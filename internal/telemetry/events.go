@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event severity levels.
+const (
+	LevelInfo  = "info"
+	LevelWarn  = "warn"
+	LevelError = "error"
+)
+
+// Event is one structured entry in an EventLog. TraceID links the event to
+// the ingestion trace that was active when it happened, so a dead-letter or
+// breaker transition can be walked back to the exact request it interrupted.
+type Event struct {
+	Seq        int64  `json:"seq"`
+	TimeUnixNs int64  `json:"timeUnixNs"`
+	Level      string `json:"level"`
+	Component  string `json:"component"`
+	Message    string `json:"message"`
+	TraceID    string `json:"traceId,omitempty"`
+}
+
+// EventLog is a bounded, dependency-free ring of structured events — the
+// "what changed and why" channel next to the metrics registry's "how much".
+// Log is cheap (one lock, one slot overwrite) so it can sit on retry,
+// breaker, DLQ, and healer state changes without perturbing them. Safe for
+// concurrent use.
+type EventLog struct {
+	now func() time.Time
+	cap int
+
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+	seq  int64
+}
+
+// NewEventLog builds a ring retaining up to capacity events (<=0 means 256)
+// on the given clock (nil means time.Now).
+func NewEventLog(now func() time.Time, capacity int) *EventLog {
+	if now == nil {
+		now = time.Now
+	}
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &EventLog{now: now, cap: capacity, buf: make([]Event, capacity)}
+}
+
+// Log appends one event. traceID may be empty for state changes that happen
+// outside any traced request; format/args follow fmt.Sprintf.
+func (l *EventLog) Log(level, component, traceID, format string, args ...any) {
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	ts := l.now().UnixNano()
+	l.mu.Lock()
+	l.seq++
+	l.buf[l.next] = Event{
+		Seq: l.seq, TimeUnixNs: ts,
+		Level: level, Component: component, Message: msg, TraceID: traceID,
+	}
+	l.next++
+	if l.next == l.cap {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Events returns up to limit retained events, newest first (limit <= 0 or
+// beyond the retained count means all retained).
+func (l *EventLog) Events(limit int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = l.cap
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Event, 0, limit)
+	for i := 0; i < limit; i++ {
+		out = append(out, l.buf[(l.next-1-i+l.cap)%l.cap])
+	}
+	return out
+}
+
+// Len returns how many events are currently retained.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return l.cap
+	}
+	return l.next
+}
+
+// Total returns how many events were ever logged, including evicted ones.
+func (l *EventLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}

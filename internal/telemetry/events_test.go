@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventLogRingAndOrder(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0), step: time.Second}
+	l := NewEventLog(clk.now, 3)
+	for i := 1; i <= 5; i++ {
+		l.Log(LevelInfo, "broker", "", "event %d", i)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", l.Len())
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+
+	evs := l.Events(0)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Newest first, oldest two evicted.
+	for i, want := range []int64{5, 4, 3} {
+		if evs[i].Seq != want {
+			t.Fatalf("events[%d].Seq = %d, want %d (%+v)", i, evs[i].Seq, want, evs)
+		}
+	}
+	if evs[0].Message != "event 5" || evs[0].Component != "broker" {
+		t.Fatalf("newest event = %+v", evs[0])
+	}
+	if evs[0].TimeUnixNs <= evs[2].TimeUnixNs {
+		t.Fatalf("timestamps not increasing with seq: %+v", evs)
+	}
+}
+
+func TestEventLogLimit(t *testing.T) {
+	l := NewEventLog(nil, 8)
+	for i := 1; i <= 4; i++ {
+		l.Log(LevelWarn, "dlq", "trace-x", "quarantined %d", i)
+	}
+	evs := l.Events(2)
+	if len(evs) != 2 || evs[0].Seq != 4 || evs[1].Seq != 3 {
+		t.Fatalf("limited events = %+v", evs)
+	}
+	if evs[0].TraceID != "trace-x" || evs[0].Level != LevelWarn {
+		t.Fatalf("event lost fields: %+v", evs[0])
+	}
+	// Limit beyond the retained count returns everything retained.
+	if got := l.Events(100); len(got) != 4 {
+		t.Fatalf("over-limit events = %d", len(got))
+	}
+}
+
+func TestEventLogDefaults(t *testing.T) {
+	l := NewEventLog(nil, 0)
+	l.Log(LevelError, "healer", "", "plain message")
+	evs := l.Events(0)
+	if len(evs) != 1 || evs[0].Message != "plain message" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].TimeUnixNs == 0 {
+		t.Fatal("default clock left timestamp zero")
+	}
+}

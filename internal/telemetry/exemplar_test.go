@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExemplarWorstBucketRetention(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16})
+	// Fill the exemplar slots from low buckets up.
+	h.ObserveExemplar(0.5, "t-0") // bucket 0
+	h.ObserveExemplar(1.5, "t-1") // bucket 1
+	h.ObserveExemplar(3, "t-2")   // bucket 2
+	h.ObserveExemplar(6, "t-3")   // bucket 3
+	if got := len(h.Exemplars()); got != maxExemplars {
+		t.Fatalf("retained = %d, want %d", got, maxExemplars)
+	}
+
+	// A worse observation evicts the lowest-bucket exemplar.
+	h.ObserveExemplar(100, "t-hot") // overflow bucket
+	ex := h.Exemplars()
+	if len(ex) != maxExemplars {
+		t.Fatalf("retained = %d after eviction", len(ex))
+	}
+	for _, e := range ex {
+		if e.TraceID == "t-0" {
+			t.Fatalf("lowest-bucket exemplar survived: %+v", ex)
+		}
+	}
+	worst, ok := h.WorstExemplar()
+	if !ok || worst.TraceID != "t-hot" || worst.Value != 100 {
+		t.Fatalf("worst = %+v, ok = %v", worst, ok)
+	}
+
+	// A better (lower-bucket) observation is not admitted when full.
+	h.ObserveExemplar(0.1, "t-cold")
+	for _, e := range h.Exemplars() {
+		if e.TraceID == "t-cold" {
+			t.Fatalf("low-bucket exemplar displaced a worse one: %+v", h.Exemplars())
+		}
+	}
+
+	// Empty trace ids observe without becoming exemplars.
+	before := h.Count()
+	h.ObserveExemplar(50, "")
+	if h.Count() != before+1 {
+		t.Fatal("observation with empty trace id not counted")
+	}
+	if w, _ := h.WorstExemplar(); w.TraceID == "" {
+		t.Fatalf("anonymous exemplar retained: %+v", w)
+	}
+}
+
+func TestCountAtOrBelow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.CountAtOrBelow(2); got != 2 {
+		t.Fatalf("<=2 = %d, want 2", got)
+	}
+	if got := h.CountAtOrBelow(4); got != 3 {
+		t.Fatalf("<=4 = %d, want 3 (overflow excluded)", got)
+	}
+	if got := h.CountAtOrBelow(0.5); got != 0 {
+		t.Fatalf("<=0.5 = %d, want 0 (bound below first bucket)", got)
+	}
+}
+
+func TestPrometheusExemplarTrailer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("demo_seconds", "demo", []float64{1, 10})
+	h.ObserveExemplar(5, "trace-tail")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# {trace_id="trace-tail"} 5`) {
+		t.Fatalf("missing exemplar trailer:\n%s", out)
+	}
+	// The trailer rides the bucket the observation landed in.
+	if !strings.Contains(out, `demo_seconds_bucket{le="10"} 1 # {trace_id="trace-tail"} 5`) {
+		t.Fatalf("exemplar not on its bucket line:\n%s", out)
+	}
+}
+
+func TestSnapshotExemplarTrace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap_seconds", "demo", []float64{1, 10})
+	h.ObserveExemplar(0.5, "trace-low")
+	h.ObserveExemplar(5, "trace-high")
+	for _, p := range r.Snapshot() {
+		if p.Name == "snap_seconds" {
+			if p.ExemplarTrace != "trace-high" {
+				t.Fatalf("snapshot exemplar = %q, want worst bucket's", p.ExemplarTrace)
+			}
+			return
+		}
+	}
+	t.Fatal("histogram missing from snapshot")
+}

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"math"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -15,7 +17,24 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last slot is the overflow (+Inf) bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+
+	// Exemplars ride on ObserveExemplar only, behind their own lock so the
+	// plain Observe hot path stays lock-free.
+	exMu      sync.Mutex
+	exemplars []Exemplar
 }
+
+// Exemplar links one observation to the trace that produced it, retained for
+// the worst (highest) buckets seen so a p99 outlier on a dashboard resolves
+// to an inspectable trace.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"traceId"`
+	Bucket  int     `json:"bucket"` // bucket index; len(bounds) is the +Inf bucket
+}
+
+// maxExemplars bounds retained exemplars per histogram.
+const maxExemplars = 4
 
 // DefBuckets covers latencies from 100µs to ~100s in seconds — wide enough
 // for both in-process microsecond operations and simulated multi-second
@@ -64,6 +83,72 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records v like Observe and, when traceID is non-empty,
+// offers it as an exemplar: the histogram keeps the most recent observations
+// from its worst buckets, evicting the lowest-bucket entry when full. Slower
+// than Observe (one small lock), so use it on per-item paths, not per-byte
+// ones.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	bucket := 0
+	for bucket < len(h.bounds) && v > h.bounds[bucket] {
+		bucket++
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if len(h.exemplars) < maxExemplars {
+		h.exemplars = append(h.exemplars, Exemplar{Value: v, TraceID: traceID, Bucket: bucket})
+		return
+	}
+	lo := 0
+	for i := 1; i < len(h.exemplars); i++ {
+		if h.exemplars[i].Bucket < h.exemplars[lo].Bucket {
+			lo = i
+		}
+	}
+	if bucket < h.exemplars[lo].Bucket {
+		return
+	}
+	copy(h.exemplars[lo:], h.exemplars[lo+1:])
+	h.exemplars[len(h.exemplars)-1] = Exemplar{Value: v, TraceID: traceID, Bucket: bucket}
+}
+
+// Exemplars returns the retained exemplars, worst bucket first.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	out := make([]Exemplar, len(h.exemplars))
+	copy(out, h.exemplars)
+	h.exMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Bucket > out[j].Bucket })
+	return out
+}
+
+// WorstExemplar returns the exemplar from the highest bucket; ok is false
+// when none were retained.
+func (h *Histogram) WorstExemplar() (Exemplar, bool) {
+	ex := h.Exemplars()
+	if len(ex) == 0 {
+		return Exemplar{}, false
+	}
+	return ex[0], true
+}
+
+// CountAtOrBelow returns how many observations landed in buckets whose upper
+// bound is <= bound — the "good" numerator for latency-threshold SLOs.
+func (h *Histogram) CountAtOrBelow(bound float64) uint64 {
+	var n uint64
+	for i, ub := range h.bounds {
+		if ub > bound {
+			break
+		}
+		n += h.counts[i].Load()
+	}
+	return n
 }
 
 // Count returns the number of observations.

@@ -37,19 +37,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
-// writeHistogram emits cumulative buckets plus _sum and _count.
+// writeHistogram emits cumulative buckets plus _sum and _count. Buckets that
+// retained an exemplar get an OpenMetrics-style trailer
+// (`# {trace_id="..."} value`) linking the tail to an inspectable trace.
 func writeHistogram(b *strings.Builder, m *metric) {
 	family := baseName(m.name)
 	labels := m.name[len(family):] // "" or "{k=\"v\"}"
 	bounds := m.hist.Bounds()
 	counts := m.hist.BucketCounts()
+	byBucket := make(map[int]Exemplar)
+	for _, ex := range m.hist.Exemplars() {
+		if _, ok := byBucket[ex.Bucket]; !ok {
+			byBucket[ex.Bucket] = ex
+		}
+	}
+	line := func(i int, le string, cum uint64) {
+		fmt.Fprintf(b, "%s_bucket%s %d", family, mergeLabel(labels, "le", le), cum)
+		if ex, ok := byBucket[i]; ok {
+			fmt.Fprintf(b, " # {trace_id=%q} %s", ex.TraceID, formatFloat(ex.Value))
+		}
+		b.WriteByte('\n')
+	}
 	var cum uint64
 	for i, bound := range bounds {
 		cum += counts[i]
-		fmt.Fprintf(b, "%s_bucket%s %d\n", family, mergeLabel(labels, "le", formatFloat(bound)), cum)
+		line(i, formatFloat(bound), cum)
 	}
 	cum += counts[len(counts)-1]
-	fmt.Fprintf(b, "%s_bucket%s %d\n", family, mergeLabel(labels, "le", "+Inf"), cum)
+	line(len(bounds), "+Inf", cum)
 	fmt.Fprintf(b, "%s_sum%s %s\n", family, labels, formatFloat(m.hist.Sum()))
 	fmt.Fprintf(b, "%s_count%s %d\n", family, labels, m.hist.Count())
 }

@@ -245,6 +245,9 @@ type Point struct {
 	Count         uint64
 	Sum           float64
 	P50, P95, P99 float64
+	// ExemplarTrace is the trace id of the worst-bucket exemplar, when the
+	// histogram retained one — the id a p99 outlier resolves to.
+	ExemplarTrace string
 }
 
 // Snapshot returns every metric's current value in exposition order.
@@ -266,6 +269,9 @@ func (r *Registry) Snapshot() []Point {
 			p.P50 = m.hist.Quantile(0.50)
 			p.P95 = m.hist.Quantile(0.95)
 			p.P99 = m.hist.Quantile(0.99)
+			if ex, ok := m.hist.WorstExemplar(); ok {
+				p.ExemplarTrace = ex.TraceID
+			}
 		}
 		out = append(out, p)
 	}

@@ -62,18 +62,34 @@ func NewTracer(now func() time.Time, capacity int) *Tracer {
 func (t *Tracer) Start(id, name string) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.traces[id]; !ok {
-		t.order = append(t.order, id)
-		for len(t.order) > t.cap {
-			delete(t.traces, t.order[0])
-			t.order = t.order[1:]
-		}
-	}
 	tr := &trace{id: id, name: name}
-	t.traces[id] = tr
+	t.insertLocked(id, tr)
 	root := &Span{tracer: t, trace: tr, ID: 0, Parent: -1, Name: name, Begin: t.now()}
 	tr.spans = append(tr.spans, root)
 	return root
+}
+
+// insertLocked stores tr under id and maintains the eviction ring. A
+// re-Start of a retained id moves it to the back of the ring — it is the
+// freshest trace again — so `order` and `traces` can never disagree about
+// which id the next eviction removes. Eviction runs after insertion; the
+// just-inserted id sits at the back, so it is only evictable when it is the
+// sole entry, which the cap (>= 1) forbids.
+func (t *Tracer) insertLocked(id string, tr *trace) {
+	if _, ok := t.traces[id]; ok {
+		for i, o := range t.order {
+			if o == id {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				break
+			}
+		}
+	}
+	t.order = append(t.order, id)
+	t.traces[id] = tr
+	for len(t.order) > t.cap {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+	}
 }
 
 // Child opens a sub-span under s.
@@ -88,8 +104,13 @@ func (s *Span) Child(name string) *Span {
 	return c
 }
 
-// SetTier tags the span with a tier/stage label.
-func (s *Span) SetTier(tier string) { s.Tier = tier }
+// SetTier tags the span with a tier/stage label. It takes the tracer lock so
+// a concurrent Trace() export never reads the field mid-write.
+func (s *Span) SetTier(tier string) {
+	s.tracer.mu.Lock()
+	s.Tier = tier
+	s.tracer.mu.Unlock()
+}
 
 // End closes the span. Ending twice keeps the first finish time.
 func (s *Span) End() {

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"sort"
 	"strconv"
 	"time"
 
@@ -42,7 +44,41 @@ func NewServer(inf *core.Infrastructure) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /api/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/slo", s.handleSLO)
+	s.registerRuntimeMetrics()
 	return s
+}
+
+// registerRuntimeMetrics exposes the serving process's own Go runtime health
+// on /metrics next to the infrastructure families: goroutine count, live heap
+// bytes, and a p99 over the GC pause ring.
+func (s *Server) registerRuntimeMetrics() {
+	r := s.inf.Telemetry
+	r.GaugeFunc("cityinfra_go_goroutines", "goroutines currently live",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("cityinfra_go_heap_alloc_bytes", "bytes of allocated heap objects",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	r.GaugeFunc("cityinfra_go_gc_pause_p99_seconds", "p99 of the runtime's recent GC pause ring",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			n := int(m.NumGC)
+			if n == 0 {
+				return 0
+			}
+			if n > len(m.PauseNs) {
+				n = len(m.PauseNs)
+			}
+			pauses := make([]uint64, n)
+			copy(pauses, m.PauseNs[:n])
+			sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+			return float64(pauses[(n-1)*99/100]) / 1e9
+		})
 }
 
 // ServeHTTP dispatches to the API mux.
@@ -82,10 +118,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleTraces lists the retained trace ids, oldest first.
+// parseLimit reads an optional ?limit= query parameter (0 means unlimited).
+func parseLimit(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("%w: limit", ErrBadRequest)
+	}
+	return n, nil
+}
+
+// handleTraces lists the retained trace ids, newest first; ?limit= caps the
+// listing. total is the retained count before the cap.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	ids := s.inf.Tracer.IDs()
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(ids), "traces": ids})
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	total := len(ids)
+	if limit > 0 && limit < len(ids) {
+		ids = ids[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(ids), "total": total, "traces": ids})
+}
+
+// handleEvents serves the operational event log, newest first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	evs := s.inf.Events.Events(limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(evs), "total": s.inf.Events.Total(), "events": evs,
+	})
+}
+
+// handleSLO serves every objective's windowed burn math.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	reps := s.inf.SLOs.Reports()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(reps), "slos": reps})
 }
 
 // handleTrace serves one trace's spans plus its per-stage latency breakdown.
