@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dataproc"
 	"repro/internal/experiments"
@@ -13,7 +14,9 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/nn"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
+	"repro/internal/tsdb"
 )
 
 // benchExperiment runs one registered experiment per iteration; these are
@@ -209,6 +212,72 @@ func BenchmarkE17_GraphAnalytics(b *testing.B)     { benchExperiment(b, "E17") }
 func BenchmarkE18_ChaosPipeline(b *testing.B)      { benchExperiment(b, "E18") }
 func BenchmarkE19_LatencyAttribution(b *testing.B) { benchExperiment(b, "E19") }
 func BenchmarkE20_TracedChaosSweep(b *testing.B)   { benchExperiment(b, "E20") }
+func BenchmarkE21_MetricsMonitor(b *testing.B)     { benchExperiment(b, "E21") }
+
+// --- Monitoring-layer hot paths: scrape and query per tick ---
+
+// benchRegistry builds a registry with a representative instrument mix:
+// the scrape cost scales with registered metrics, not traffic.
+func benchRegistry(rng *rand.Rand) *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 24; i++ {
+		reg.Counter(fmt.Sprintf("bench_counter_%d_total", i), "c").Add(rng.Intn(1000))
+		reg.Gauge(fmt.Sprintf("bench_gauge_%d", i), "g").Set(rng.Float64())
+	}
+	for i := 0; i < 8; i++ {
+		h := reg.Histogram(fmt.Sprintf("bench_latency_%d_seconds", i), "h", nil)
+		for j := 0; j < 200; j++ {
+			h.ObserveExemplar(rng.Float64()*0.2, fmt.Sprintf("trace-%d", j))
+		}
+	}
+	return reg
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	reg := benchRegistry(rand.New(rand.NewSource(7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := reg.Snapshot(); len(pts) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkTSDBScrape(b *testing.B) {
+	reg := benchRegistry(rand.New(rand.NewSource(8)))
+	clock := time.Unix(1_000_000, 0)
+	store := tsdb.NewStore(reg, tsdb.Config{Capacity: 512, Now: func() time.Time { return clock }})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock = clock.Add(5 * time.Second)
+		if n := store.Scrape(); n == 0 {
+			b.Fatal("scrape updated no series")
+		}
+	}
+}
+
+func BenchmarkTSDBQueryEval(b *testing.B) {
+	reg := benchRegistry(rand.New(rand.NewSource(9)))
+	clock := time.Unix(1_000_000, 0)
+	store := tsdb.NewStore(reg, tsdb.Config{Capacity: 512, Now: func() time.Time { return clock }})
+	counter := reg.Counter("bench_hot_total", "hot path counter")
+	for i := 0; i < 256; i++ { // fill the retention window
+		counter.Add(17)
+		clock = clock.Add(5 * time.Second)
+		store.Scrape()
+	}
+	exprs := []string{
+		"rate(bench_hot_total[1m])",
+		"avg_over_time(bench_gauge_3[5m])",
+		"quantile_over_time(0.9, bench_latency_1_seconds_p99[10m])",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Eval(exprs[i%len(exprs)], clock); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkDataParallelTraining measures the software layer's "data
 // parallelism ... multiple workers per node" claim: synchronous replicated

@@ -7,6 +7,7 @@
 //	go run ./cmd/cityinfra -tweets 10000   # heavier ingest
 //	go run ./cmd/cityinfra -chaos 0.1      # inject 10% faults on every seam
 //	go run ./cmd/cityinfra -telemetry      # print the metrics registry after ingest
+//	go run ./cmd/cityinfra -watch          # live dashboard: sparklines, SLO burn, alerts
 package main
 
 import (
@@ -42,6 +43,9 @@ func run(args []string) error {
 	serve := fs.String("serve", "", "after ingesting, serve the dashboard API on this address (e.g. :8080)")
 	chaos := fs.Float64("chaos", 0, "per-call fault probability injected on every storage/stream seam (0 = off)")
 	showTelemetry := fs.Bool("telemetry", false, "after ingesting, print the telemetry registry (what GET /metrics exposes)")
+	watch := fs.Bool("watch", false, "after ingesting, run the live monitoring dashboard (sparklines, SLO burn, alerts)")
+	watchFrames := fs.Int("watch-frames", 0, "stop -watch after this many frames (0 = run until killed)")
+	watchInterval := fs.Duration("watch-interval", time.Second, "wall-clock delay between -watch frames (0 = no repaint delay, for scripted runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -172,7 +176,27 @@ func run(args []string) error {
 		fmt.Println(st)
 	}
 
+	if *watch {
+		fmt.Println("entering watch mode — each frame ingests a trickle of tweets and runs one monitor tick")
+		trickle := tcfg
+		trickle.Count = 100
+		return watchLoop(inf, os.Stdout, *watchFrames, *watchInterval, func(int) error {
+			batch, err := citydata.GenerateTweets(trickle, incidents, inf.Gang, rng)
+			if err != nil {
+				return err
+			}
+			_, err = inf.IngestTweets(batch)
+			return err
+		})
+	}
+
 	if *serve != "" {
+		// Seed the TSDB with a few scrapes of the post-ingest registry so the
+		// windowed query endpoints (/api/query, /api/series) have enough
+		// samples for a full 15 s rate window before the first request.
+		for i := 0; i < 4; i++ {
+			inf.MonitorTick()
+		}
 		fmt.Printf("serving dashboard API on %s (GET /api/health, /api/inventory, /api/tweets/near, ...)\n", *serve)
 		// Blocks until the process is killed — the operational mode.
 		return http.ListenAndServe(*serve, web.NewServer(inf))

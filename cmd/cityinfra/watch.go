@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/viz"
+)
+
+// watchSeries is one row of the live dashboard: a named series rendered as
+// a sparkline over its recent scrape history. Counters are differentiated
+// into per-second rates between adjacent scrapes; gauges plot raw values.
+type watchSeries struct {
+	label   string
+	series  string
+	counter bool
+	scale   float64 // multiplier for display (e.g. 1e3 for seconds → ms)
+	unit    string
+}
+
+// watchRows is what `cityinfra -watch` plots.
+var watchRows = []watchSeries{
+	{label: "collected", series: "cityinfra_pipeline_collected_total", counter: true, scale: 1, unit: "ev/s"},
+	{label: "stored", series: "cityinfra_pipeline_stored_total", counter: true, scale: 1, unit: "ev/s"},
+	{label: "undelivered", series: "cityinfra_pipeline_undelivered_total", counter: true, scale: 1, unit: "ev/s"},
+	{label: "retries", series: "cityinfra_pipeline_retries_total", counter: true, scale: 1, unit: "op/s"},
+	{label: "ingest p99", series: "cityinfra_pipeline_ingest_seconds_p99", counter: false, scale: 1e3, unit: "ms"},
+	{label: "breaker", series: "cityinfra_breaker_state", counter: false, scale: 1, unit: "state"},
+}
+
+// historyValues returns up to n plotted values for one watch row from the
+// store's retained samples.
+func historyValues(inf *core.Infrastructure, ws watchSeries, n int) []float64 {
+	samples, err := inf.TSDB.Samples(ws.series, time.Unix(0, 0), inf.TSDB.Now())
+	if err != nil || len(samples) == 0 {
+		return nil
+	}
+	var vals []float64
+	if ws.counter {
+		for i := 1; i < len(samples); i++ {
+			dt := float64(samples[i].TimeUnixNs-samples[i-1].TimeUnixNs) / 1e9
+			if dt <= 0 {
+				continue
+			}
+			d := samples[i].Value - samples[i-1].Value
+			if d < 0 {
+				d = 0
+			}
+			vals = append(vals, d/dt*ws.scale)
+		}
+	} else {
+		for _, s := range samples {
+			vals = append(vals, s.Value*ws.scale)
+		}
+	}
+	if len(vals) > n {
+		vals = vals[len(vals)-n:]
+	}
+	return vals
+}
+
+// renderWatch draws one dashboard frame: sparkline history per watched
+// series, SLO burn rates, and the alert rule states, preceded by an ANSI
+// home+clear so successive frames repaint in place.
+func renderWatch(inf *core.Infrastructure, w io.Writer, frame int, clear bool) {
+	if clear {
+		fmt.Fprint(w, "\033[H\033[2J")
+	}
+	fmt.Fprintf(w, "cityinfra watch — frame %d, scrape tick %d, virtual clock %s\n\n",
+		frame, inf.TSDB.Scrapes(), inf.TSDB.Now().Format(time.RFC3339))
+
+	const hist = 48
+	width := 0
+	for _, ws := range watchRows {
+		if len(ws.label) > width {
+			width = len(ws.label)
+		}
+	}
+	for _, ws := range watchRows {
+		vals := historyValues(inf, ws, hist)
+		if len(vals) == 0 {
+			fmt.Fprintf(w, "  %-*s  (no samples yet)\n", width, ws.label)
+			continue
+		}
+		fmt.Fprintf(w, "  %-*s  %s  %8.4g %s\n",
+			width, ws.label, viz.Sparkline(vals), vals[len(vals)-1], ws.unit)
+	}
+
+	slo := viz.NewTable("SLO burn", "objective", "error rate", "burn rate")
+	for _, rep := range inf.SLOs.Reports() {
+		slo.AddRow(rep.Name, rep.ErrorRate, rep.BurnRate)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, slo)
+
+	alerts := viz.NewTable("alert rules", "rule", "state", "value", "expr")
+	for _, st := range inf.Alerts.States() {
+		marker := st.State
+		if st.State == "firing" {
+			marker = "FIRING"
+		}
+		alerts.AddRow(st.Rule.Name, marker, st.LastValue, st.Rule.Expr)
+	}
+	fmt.Fprintln(w, alerts)
+	if firing := inf.Alerts.Firing(); len(firing) > 0 {
+		fmt.Fprintf(w, "!! firing: %s\n", strings.Join(firing, ", "))
+	}
+}
+
+// watchLoop drives the live dashboard: each frame ingests a trickle of
+// traffic (so the rates move), runs one monitor tick (scrape + alert
+// evaluation on the simulated clock), and repaints. frames <= 0 means run
+// until the process is killed; interval is the wall-clock delay between
+// frames (0 repaints as fast as the trickle ingests, for scripted runs).
+func watchLoop(inf *core.Infrastructure, w io.Writer, frames int, interval time.Duration, ingest func(frame int) error) error {
+	for frame := 1; frames <= 0 || frame <= frames; frame++ {
+		if ingest != nil {
+			if err := ingest(frame); err != nil {
+				return fmt.Errorf("watch ingest: %w", err)
+			}
+		}
+		inf.MonitorTick()
+		renderWatch(inf, w, frame, interval > 0)
+		if interval > 0 && (frames <= 0 || frame < frames) {
+			time.Sleep(interval)
+		}
+	}
+	return nil
+}

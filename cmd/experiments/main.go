@@ -1,22 +1,24 @@
 // Command experiments regenerates the paper's figures and quantitative
-// claims (experiments E1..E20, see DESIGN.md §4). Without arguments it runs
+// claims (experiments E1..E21, see DESIGN.md §4). Without arguments it runs
 // everything; pass experiment ids to run a subset.
 //
 //	go run ./cmd/experiments                         # all experiments
 //	go run ./cmd/experiments E3 E5                   # just the fog sweep and detector
 //	go run ./cmd/experiments -seed 7 E9
-//	go run ./cmd/experiments -bench-json BENCH_PR4.json
+//	go run ./cmd/experiments -bench-json BENCH_PR5.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
+	"repro/internal/tsdb"
 )
 
 func main() {
@@ -30,7 +32,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed shared by all experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	benchJSON := fs.String("bench-json", "", "benchmark the E18/E19/E20 hot paths and write ops/sec + p99 JSON to this file")
+	benchJSON := fs.String("bench-json", "", "benchmark the E18..E21 hot paths plus the monitoring micro paths and write ops/sec + p99 JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,33 +69,107 @@ type benchResult struct {
 	P99Ms      float64 `json:"p99Ms"`
 }
 
+// benchLoop times fn over iters iterations. Durations feed a telemetry
+// histogram so the p99 here is computed by the same estimator the /metrics
+// endpoint exports.
+func benchLoop(name string, iters int, fn func(i int) error) (benchResult, error) {
+	h := telemetry.NewHistogram(telemetry.ExpBuckets(1e-7, 2, 34))
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := fn(i); err != nil {
+			return benchResult{}, fmt.Errorf("bench %s: %w", name, err)
+		}
+		h.Observe(time.Since(t0).Seconds())
+	}
+	elapsed := time.Since(start).Seconds()
+	return benchResult{
+		Experiment: name,
+		Iterations: iters,
+		OpsPerSec:  float64(iters) / elapsed,
+		MeanMs:     h.Mean() * 1e3,
+		P99Ms:      h.Quantile(0.99) * 1e3,
+	}, nil
+}
+
+// benchMonitorFixture builds the standalone registry + store the monitoring
+// micro benchmarks run against: a representative instrument mix on a
+// manual clock, matching what one core scrape tick sees.
+func benchMonitorFixture(seed int64) (*telemetry.Registry, *tsdb.Store, func()) {
+	rng := rand.New(rand.NewSource(seed))
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 24; i++ {
+		reg.Counter(fmt.Sprintf("bench_counter_%d_total", i), "c").Add(rng.Intn(1000))
+		reg.Gauge(fmt.Sprintf("bench_gauge_%d", i), "g").Set(rng.Float64())
+	}
+	for i := 0; i < 8; i++ {
+		h := reg.Histogram(fmt.Sprintf("bench_latency_%d_seconds", i), "h", nil)
+		for j := 0; j < 200; j++ {
+			h.ObserveExemplar(rng.Float64()*0.2, fmt.Sprintf("trace-%d", j))
+		}
+	}
+	clock := time.Unix(1_000_000, 0)
+	store := tsdb.NewStore(reg, tsdb.Config{Capacity: 512, Now: func() time.Time { return clock }})
+	advance := func() { clock = clock.Add(5 * time.Second) }
+	return reg, store, advance
+}
+
 // writeBenchJSON times the heaviest pipeline experiments — E18 (chaos sweep
-// through the hardened ingestion path), E19 (fog latency attribution), and
-// E20 (traced chaos sweep across the offload boundary) — and records
-// throughput plus tail latency. Durations feed a telemetry histogram so the
-// p99 here is computed by the same estimator the /metrics endpoint exports.
+// through the hardened ingestion path), E19 (fog latency attribution), E20
+// (traced chaos sweep across the offload boundary), and E21 (metrics
+// monitor loop) — plus the monitoring micro paths a deployment pays every
+// scrape tick, and records throughput plus tail latency.
 func writeBenchJSON(path string, seed int64) error {
 	const iters = 20
 	var results []benchResult
-	for _, id := range []string{"E18", "E19", "E20"} {
-		h := telemetry.NewHistogram(telemetry.ExpBuckets(1e-4, 2, 24))
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			t0 := time.Now()
-			if _, err := experiments.Run(id, seed+int64(i)); err != nil {
-				return fmt.Errorf("bench %s: %w", id, err)
+	for _, id := range []string{"E18", "E19", "E20", "E21"} {
+		r, err := benchLoop(id, iters, func(i int) error {
+			res, err := experiments.Run(id, seed+int64(i))
+			if err == nil && len(res.Tables) == 0 {
+				return fmt.Errorf("no tables")
 			}
-			h.Observe(time.Since(t0).Seconds())
-		}
-		elapsed := time.Since(start).Seconds()
-		results = append(results, benchResult{
-			Experiment: id,
-			Iterations: iters,
-			OpsPerSec:  float64(iters) / elapsed,
-			MeanMs:     h.Mean() * 1e3,
-			P99Ms:      h.Quantile(0.99) * 1e3,
+			return err
 		})
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
 	}
+
+	const microIters = 2000
+	reg, store, advance := benchMonitorFixture(seed)
+	snap, err := benchLoop("Registry.Snapshot", microIters, func(int) error {
+		if pts := reg.Snapshot(); len(pts) == 0 {
+			return fmt.Errorf("empty snapshot")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	scrape, err := benchLoop("TSDB.Scrape", microIters, func(int) error {
+		advance()
+		if n := store.Scrape(); n == 0 {
+			return fmt.Errorf("scrape updated no series")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	exprs := []string{
+		"rate(bench_counter_3_total[1m])",
+		"avg_over_time(bench_gauge_3[5m])",
+		"quantile_over_time(0.9, bench_latency_1_seconds_p99[10m])",
+	}
+	eval, err := benchLoop("Query.Eval", microIters, func(i int) error {
+		_, err := store.Eval(exprs[i%len(exprs)], store.Now())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	results = append(results, snap, scrape, eval)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -28,6 +28,7 @@ import (
 	"repro/internal/socialgraph"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/tsdb"
 	"repro/internal/yarn"
 )
 
@@ -111,6 +112,15 @@ type Infrastructure struct {
 	Healer    *hdfs.Supervisor
 	Events    *telemetry.EventLog
 	SLOs      *telemetry.SLOMonitor
+
+	// Monitoring layer: the embedded time-series store scrapes the registry
+	// into ring-buffer history on every MonitorTick, and the alert engine
+	// evaluates the default rule set (delivery rate, breaker state, lost
+	// blocks, p99 anomaly) over that history. ScrapeInterval is how far each
+	// tick advances the simulated clock.
+	TSDB           *tsdb.Store
+	Alerts         *tsdb.Engine
+	ScrapeInterval time.Duration
 
 	busMetrics    *stream.BusMetrics
 	flumeTel      *flume.AgentTelemetry
@@ -205,6 +215,9 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 	inf.SLOs = telemetry.NewSLOMonitor(nil)
 	inf.wireTelemetry()
 	inf.Bus = stream.NewMeteredBus(inf.Broker, inf.busMetrics, nil)
+	if err := inf.wireMonitor(); err != nil {
+		return nil, fmt.Errorf("boot monitor: %w", err)
+	}
 
 	// Hardware layer.
 	inf.Deployment, err = fog.BuildDeployment(cfg.Fog)

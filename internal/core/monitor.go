@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
+
+// defaultScrapeInterval is how far one MonitorTick advances the simulated
+// clock between registry scrapes. The default alert windows below are sized
+// in multiples of it.
+const defaultScrapeInterval = 5 * time.Second
+
+// DefaultAlertRules is the rule set every Infrastructure boots with:
+// a delivery-rate rule (any undelivered record inside the window), two
+// hard-state rules (breaker open, HDFS lost blocks), and an EWMA z-score
+// anomaly detector on the ingest p99. Windows assume the default 5 s scrape
+// interval: 15 s covers three ticks, so a fault burst is detected within
+// two ticks of its first scrape and resolves within three ticks of the
+// window draining.
+func DefaultAlertRules() []tsdb.Rule {
+	return []tsdb.Rule{
+		{
+			Name: "ingest-delivery-rate", Severity: telemetry.LevelError,
+			Expr: "rate(cityinfra_pipeline_undelivered_total[15s])",
+			Op:   tsdb.CmpGT, Threshold: 0, ForTicks: 1,
+			ExemplarFrom: "cityinfra_pipeline_ingest_seconds",
+		},
+		{
+			Name: "breaker-open", Severity: telemetry.LevelError,
+			Expr: "cityinfra_breaker_state",
+			Op:   tsdb.CmpGT, Threshold: 1.5, // 2 = open
+		},
+		{
+			Name: "hdfs-lost-blocks", Severity: telemetry.LevelError,
+			Expr: "cityinfra_hdfs_lost_blocks",
+			Op:   tsdb.CmpGT, Threshold: 0,
+		},
+		{
+			Name: "ingest-p99-anomaly", Severity: telemetry.LevelWarn,
+			Expr:   "cityinfra_pipeline_ingest_seconds_p99",
+			ZScore: 4, WarmupTicks: 8, ForTicks: 1,
+		},
+	}
+}
+
+// wireMonitor boots the monitoring layer: the time-series store scraping
+// the shared registry on the simulated clock, the derived
+// undelivered-records counter the delivery rule watches, the
+// events-dropped counter that makes event-ring eviction observable, and
+// the default alert rules.
+func (inf *Infrastructure) wireMonitor() error {
+	inf.ScrapeInterval = defaultScrapeInterval
+	inf.TSDB = tsdb.NewStore(inf.Telemetry, tsdb.Config{Capacity: 512, Now: inf.Clock.Now})
+	inf.Alerts = tsdb.NewEngine(inf.TSDB, inf.Telemetry, inf.Events)
+
+	inf.Telemetry.CounterFunc("cityinfra_pipeline_undelivered_total",
+		"records that left the pipeline without landing in a store (dropped + dead-lettered)",
+		func() float64 {
+			return float64(inf.pipeDropped.Value()) + float64(inf.pipeDeadLettered.Value())
+		})
+	inf.Telemetry.CounterFunc("cityinfra_telemetry_events_dropped_total",
+		"events silently evicted from the bounded event ring before being read",
+		func() float64 { return float64(inf.Events.Dropped()) })
+
+	for _, r := range DefaultAlertRules() {
+		if err := inf.Alerts.AddRule(r, inf.Telemetry); err != nil {
+			return fmt.Errorf("alert rule %s: %w", r.Name, err)
+		}
+	}
+	return nil
+}
+
+// MonitorTick runs one deterministic monitoring cycle: advance the
+// simulated clock by ScrapeInterval, scrape the registry into the
+// time-series store, and evaluate every alert rule against the new
+// history. Experiments and the -watch dashboard call it once per frame;
+// nothing in it sleeps.
+func (inf *Infrastructure) MonitorTick() {
+	inf.Clock.Advance(inf.ScrapeInterval)
+	inf.TSDB.Scrape()
+	inf.Alerts.Eval()
+}

@@ -67,6 +67,7 @@ var registry = []registration{
 	{"E18", "robustness — chaos sweep vs retry/breaker/DLQ hardening", E18ChaosPipeline},
 	{"E19", "telemetry — per-tier latency attribution across offload thresholds", E19LatencyAttribution},
 	{"E20", "observability — traced chaos sweep: propagation, exemplars, SLO burn", E20TracedChaosSweep},
+	{"E21", "observability — metrics TSDB, windowed queries, alert lifecycle", E21MetricsMonitor},
 }
 
 // IDs lists experiment ids in order.

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("registry has %d experiments, want 20 (E1..E20)", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("registry has %d experiments, want 21 (E1..E21)", len(ids))
 	}
 	titles := Titles()
 	for _, id := range ids {
@@ -156,5 +156,20 @@ func TestE20(t *testing.T) {
 	}
 	if res.Tables[1].NumRows() != 2 {
 		t.Fatalf("slo rows = %d", res.Tables[1].NumRows())
+	}
+}
+
+func TestE21(t *testing.T) {
+	res := runAndCheck(t, "E21")
+	// The runner enforces the hard claims internally: the delivery-rate rule
+	// fires within 3 chaos ticks and resolves after the window drains, rate()
+	// matches registry deltas to float round-off, the firing event's exemplar
+	// resolves, and the exported gauges track engine state. Check the
+	// timeline covers all three phases.
+	out := res.String()
+	for _, phase := range []string{"baseline", "chaos", "recovery", "firing", "resolve"} {
+		if !strings.Contains(out, phase) {
+			t.Fatalf("E21 output missing %q:\n%s", phase, out)
+		}
 	}
 }

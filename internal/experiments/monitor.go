@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/citydata"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/tsdb"
+	"repro/internal/viz"
+)
+
+// regValue reads one scalar metric out of the live registry, independently of
+// the TSDB (used to cross-check query results against ground truth).
+func regValue(inf *core.Infrastructure, name string) float64 {
+	for _, p := range inf.Telemetry.Snapshot() {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	return math.NaN()
+}
+
+// e21RuleState returns the live status of one named alert rule.
+func e21RuleState(inf *core.Infrastructure, name string) tsdb.RuleStatus {
+	for _, st := range inf.Alerts.States() {
+		if st.Rule.Name == name {
+			return st
+		}
+	}
+	return tsdb.RuleStatus{}
+}
+
+// E21MetricsMonitor drives the monitoring loop end to end on the simulated
+// clock: scrape ticks feed the embedded time-series store while tweets flow
+// through the pipeline, a chaos window with poisoned records walks the
+// delivery-rate rule inactive → pending → firing within three ticks, and
+// draining the rate window resolves it. Alongside the alert lifecycle it
+// proves the query layer against ground truth: rate() over the collected
+// counter must match the registry's own per-tick deltas to float round-off,
+// the firing event must carry a resolvable exemplar trace, and the exported
+// alert gauges must track the engine state.
+func E21MetricsMonitor(rng *rand.Rand) (*Result, error) {
+	seed := rng.Int63()
+	cfg := chaosConfig()
+	inf, err := core.New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	dataRng := rand.New(rand.NewSource(seed + 1))
+	incidents, err := citydata.GenerateCrimes(citydata.DefaultCrimeConfig(cfg.Epoch), inf.Gang.Nodes(), dataRng)
+	if err != nil {
+		return nil, err
+	}
+	tcfg := citydata.DefaultTweetConfig(cfg.Epoch)
+	tcfg.Count = 150
+
+	const (
+		ruleName   = "ingest-delivery-rate"
+		undelivSer = "cityinfra_pipeline_undelivered_total"
+		rateExpr   = "rate(" + undelivSer + "[15s])"
+		checkExpr  = "rate(cityinfra_pipeline_collected_total[15s])"
+	)
+	timeline := viz.NewTable("monitor timeline — one 5 s scrape tick per row",
+		"tick", "phase", "undelivered", rateExpr, "rule state", "firing gauge")
+
+	type obs struct {
+		atNs      int64
+		collected float64
+	}
+	var history []obs
+	tickNo := 0
+
+	// tick ingests one tweet batch (optionally preceded by poisoned records
+	// that always dead-letter), runs one monitor cycle, and logs the row.
+	tick := func(phase string, poison int) error {
+		tickNo++
+		for i := 0; i < poison; i++ {
+			if _, _, err := inf.Broker.Produce("tweets", "poison", []byte("{malformed")); err != nil {
+				return err
+			}
+		}
+		batch, err := citydata.GenerateTweets(tcfg, incidents, inf.Gang, dataRng)
+		if err != nil {
+			return err
+		}
+		if _, err := inf.IngestTweets(batch); err != nil {
+			return err
+		}
+		inf.MonitorTick()
+		history = append(history, obs{
+			atNs:      inf.TSDB.Now().UnixNano(),
+			collected: regValue(inf, "cityinfra_pipeline_collected_total"),
+		})
+
+		rateCell := "-"
+		if v, err := inf.TSDB.Eval(rateExpr, inf.TSDB.Now()); err == nil {
+			rateCell = fmt.Sprintf("%.4f", v.Value)
+		}
+		firingCell := "-"
+		if s, err := inf.TSDB.Latest("cityinfra_tsdb_alerts_firing"); err == nil {
+			firingCell = fmt.Sprintf("%.0f", s.Value)
+		}
+		timeline.AddRow(tickNo, phase, regValue(inf, undelivSer), rateCell,
+			e21RuleState(inf, ruleName).State, firingCell)
+		return nil
+	}
+
+	// Baseline arm: clean traffic, every rule must stay inactive.
+	const baselineTicks = 6
+	for i := 0; i < baselineTicks; i++ {
+		if err := tick("baseline", 0); err != nil {
+			return nil, err
+		}
+	}
+	if firing := inf.Alerts.Firing(); len(firing) != 0 {
+		return nil, fmt.Errorf("E21: clean baseline fired %v", firing)
+	}
+
+	// Query-consistency check: rate() over the collected counter must equal
+	// the delta computed from independently recorded registry snapshots.
+	at := inf.TSDB.Now()
+	got, err := inf.TSDB.Eval(checkExpr, at)
+	if err != nil {
+		return nil, fmt.Errorf("E21: %s: %w", checkExpr, err)
+	}
+	first := history[len(history)-4] // 15 s window at 5 s ticks spans 4 samples
+	last := history[len(history)-1]
+	want := (last.collected - first.collected) / (float64(last.atNs-first.atNs) / 1e9)
+	if diff := math.Abs(got.Value - want); diff > 1e-9*math.Max(1, want) {
+		return nil, fmt.Errorf("E21: %s = %v, registry deltas give %v (diff %g)", checkExpr, got.Value, want, diff)
+	}
+	consistency := viz.NewTable("windowed query vs registry ground truth",
+		"expr", "tsdb eval", "from registry deltas", "abs diff")
+	consistency.AddRow(checkExpr, fmt.Sprintf("%.6f", got.Value),
+		fmt.Sprintf("%.6f", want), fmt.Sprintf("%.3g", math.Abs(got.Value-want)))
+
+	// Chaos arm: poisoned records (which always dead-letter) plus injected
+	// faults on every seam. The delivery-rate rule must walk pending → firing
+	// within three scrape ticks of the first bad scrape.
+	inf.EnableChaos(faults.NewInjector(faults.Config{
+		Seed: seed, ErrorRate: 0.15, BurstLen: 2,
+	}))
+	detectTicks := 0
+	for i := 1; i <= 3; i++ {
+		if err := tick("chaos", 3); err != nil {
+			return nil, err
+		}
+		if e21RuleState(inf, ruleName).State == tsdb.StateFiring {
+			detectTicks = i
+			break
+		}
+	}
+	if detectTicks == 0 {
+		return nil, fmt.Errorf("E21: %s did not fire within 3 chaos ticks (state %q)",
+			ruleName, e21RuleState(inf, ruleName).State)
+	}
+	detectLatency := time.Duration(detectTicks) * inf.ScrapeInterval
+
+	// One more breaching tick so the next scrape records the firing state
+	// into the exported gauges.
+	if err := tick("chaos", 3); err != nil {
+		return nil, err
+	}
+	if s, err := inf.TSDB.Latest("cityinfra_tsdb_alerts_firing"); err != nil || s.Value < 1 {
+		return nil, fmt.Errorf("E21: firing gauge = %v, %v; want >= 1 while firing", s.Value, err)
+	}
+	if s, err := inf.TSDB.Latest(`cityinfra_tsdb_alert_state{rule="` + ruleName + `"}`); err != nil || s.Value != 2 {
+		return nil, fmt.Errorf("E21: per-rule state gauge = %v, %v; want 2 (firing)", s.Value, err)
+	}
+
+	// The firing event must be trace-correlated: its exemplar comes from the
+	// ingest latency histogram and must resolve through the tracer.
+	var firingTrace string
+	for _, ev := range inf.Events.Events(0) {
+		if ev.Component == "tsdb/alerts" && strings.Contains(ev.Message, ruleName) &&
+			strings.Contains(ev.Message, "firing") {
+			firingTrace = ev.TraceID
+			break
+		}
+	}
+	if firingTrace == "" {
+		return nil, fmt.Errorf("E21: firing event missing or carried no exemplar trace")
+	}
+	if _, err := inf.Tracer.Trace(firingTrace); err != nil {
+		return nil, fmt.Errorf("E21: firing exemplar %s unresolvable: %w", firingTrace, err)
+	}
+
+	// Recovery arm: disable chaos, keep clean traffic flowing, and let the
+	// rate window drain. The rule must resolve back to inactive.
+	inf.DisableChaos()
+	resolveTicks := 0
+	for i := 1; i <= 6; i++ {
+		if err := tick("recovery", 0); err != nil {
+			return nil, err
+		}
+		if e21RuleState(inf, ruleName).State == tsdb.StateInactive {
+			resolveTicks = i
+			break
+		}
+	}
+	if resolveTicks == 0 {
+		return nil, fmt.Errorf("E21: %s did not resolve within 6 clean ticks", ruleName)
+	}
+	resolved := false
+	for _, ev := range inf.Events.Events(0) {
+		if ev.Component == "tsdb/alerts" && strings.Contains(ev.Message, ruleName) &&
+			strings.Contains(ev.Message, "resolved") {
+			resolved = true
+			break
+		}
+	}
+	if !resolved {
+		return nil, fmt.Errorf("E21: no resolved event for %s in the event log", ruleName)
+	}
+
+	st := e21RuleState(inf, ruleName)
+	summary := viz.NewTable("alert lifecycle", "metric", "value")
+	summary.AddRow("scrape interval", inf.ScrapeInterval)
+	summary.AddRow("scrape ticks total", inf.TSDB.Scrapes())
+	summary.AddRow("detection ticks (chaos start → firing)", detectTicks)
+	summary.AddRow("detection latency (simulated)", detectLatency)
+	summary.AddRow("resolve ticks (chaos end → inactive)", resolveTicks)
+	summary.AddRow("resolve latency (simulated)", time.Duration(resolveTicks)*inf.ScrapeInterval)
+	summary.AddRow("rule fired count", st.FiredCount)
+	summary.AddRow("rule transitions", st.Transitions)
+	summary.AddRow("firing exemplar trace", firingTrace)
+
+	return &Result{
+		ID: "E21", Title: "metrics monitor — TSDB scrape loop, windowed queries, alert lifecycle",
+		Tables: []*viz.Table{timeline, consistency, summary},
+		Notes: []string{
+			fmt.Sprintf("the delivery-rate rule fired %d ticks (%s simulated) after the first poisoned scrape — within the 3-tick budget — and resolved %d ticks after chaos ended, once the 15 s rate window drained",
+				detectTicks, detectLatency, resolveTicks),
+			fmt.Sprintf("%s agreed with registry-snapshot deltas to %.3g — the query layer reads the same truth the exposition endpoint serves", checkExpr, math.Abs(got.Value-want)),
+			"the firing event carries the ingest histogram's exemplar, so an operator can jump alert → trace without leaving the event log",
+			"everything runs on the simulated clock: scrapes, windows, and backoff advance deterministically and the experiment never sleeps",
+		},
+	}, nil
+}

@@ -34,11 +34,12 @@ type EventLog struct {
 	now func() time.Time
 	cap int
 
-	mu   sync.Mutex
-	buf  []Event
-	next int
-	full bool
-	seq  int64
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	seq     int64
+	dropped int64
 }
 
 // NewEventLog builds a ring retaining up to capacity events (<=0 means 256)
@@ -63,6 +64,11 @@ func (l *EventLog) Log(level, component, traceID, format string, args ...any) {
 	ts := l.now().UnixNano()
 	l.mu.Lock()
 	l.seq++
+	if l.full {
+		// The slot being reused still holds the oldest retained event, which
+		// this write silently evicts — count it so eviction is observable.
+		l.dropped++
+	}
 	l.buf[l.next] = Event{
 		Seq: l.seq, TimeUnixNs: ts,
 		Level: level, Component: component, Message: msg, TraceID: traceID,
@@ -109,4 +115,13 @@ func (l *EventLog) Total() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seq
+}
+
+// Dropped returns how many events the ring has overwritten before anyone
+// could read them — the silent-eviction count the
+// telemetry_events_dropped_total metric exposes.
+func (l *EventLog) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }

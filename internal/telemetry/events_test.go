@@ -17,6 +17,10 @@ func TestEventLogRingAndOrder(t *testing.T) {
 	if l.Total() != 5 {
 		t.Fatalf("total = %d, want 5", l.Total())
 	}
+	// Five writes into a 3-slot ring overwrote the two oldest events.
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", l.Dropped())
+	}
 
 	evs := l.Events(0)
 	if len(evs) != 3 {
@@ -51,6 +55,10 @@ func TestEventLogLimit(t *testing.T) {
 	// Limit beyond the retained count returns everything retained.
 	if got := l.Events(100); len(got) != 4 {
 		t.Fatalf("over-limit events = %d", len(got))
+	}
+	// Nothing was evicted: the ring never filled.
+	if l.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", l.Dropped())
 	}
 }
 

@@ -1,0 +1,207 @@
+package tsdb
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// alertFixture is a registry + store + engine on one manual clock, with a
+// settable scraped value.
+type alertFixture struct {
+	reg    *telemetry.Registry
+	store  *Store
+	engine *Engine
+	events *telemetry.EventLog
+	clk    *manualNow
+	value  float64
+}
+
+func newAlertFixture(t *testing.T, rule Rule) *alertFixture {
+	t.Helper()
+	f := &alertFixture{reg: telemetry.NewRegistry()}
+	f.reg.GaugeFunc("signal", "test signal", func() float64 { return f.value })
+	f.clk = newManualNow()
+	f.store = NewStore(f.reg, Config{Capacity: 64, Now: f.clk.now})
+	f.events = telemetry.NewEventLog(f.clk.now, 64)
+	f.engine = NewEngine(f.store, f.reg, f.events)
+	if err := f.engine.AddRule(rule, f.reg); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// tick scrapes and evaluates once at the next 5 s boundary.
+func (f *alertFixture) tick(v float64) {
+	f.clk.advance(5 * time.Second)
+	f.value = v
+	f.store.Scrape()
+	f.engine.Eval()
+}
+
+func (f *alertFixture) state() RuleStatus { return f.engine.States()[0] }
+
+func TestThresholdRuleLifecycle(t *testing.T) {
+	f := newAlertFixture(t, Rule{
+		Name: "hot", Expr: "signal", Op: CmpGT, Threshold: 10,
+		ForTicks: 1, Severity: telemetry.LevelError,
+	})
+	f.tick(3)
+	if st := f.state(); st.State != StateInactive || !st.LastEvalOK {
+		t.Fatalf("state = %+v", st)
+	}
+	f.tick(15)
+	if st := f.state(); st.State != StatePending {
+		t.Fatalf("after first breach state = %s", st.State)
+	}
+	f.tick(16)
+	if st := f.state(); st.State != StateFiring || st.FiredCount != 1 {
+		t.Fatalf("after second breach state = %+v", st)
+	}
+	// Firing count gauge.
+	snap := snapshotMap(f.reg)
+	if snap["cityinfra_tsdb_alerts_firing"] != 1 {
+		t.Fatalf("firing gauge = %v", snap["cityinfra_tsdb_alerts_firing"])
+	}
+	if snap[`cityinfra_tsdb_alert_state{rule="hot"}`] != 2 {
+		t.Fatalf("state gauge = %v", snap)
+	}
+	f.tick(2)
+	if st := f.state(); st.State != StateInactive {
+		t.Fatalf("after recovery state = %s", st.State)
+	}
+	if snapshotMap(f.reg)["cityinfra_tsdb_alerts_firing"] != 0 {
+		t.Fatal("firing gauge did not reset")
+	}
+	// Event log carries pending → firing → resolved entries.
+	var msgs []string
+	for _, ev := range f.events.Events(0) {
+		if ev.Component == "tsdb/alerts" {
+			msgs = append(msgs, ev.Level+": "+ev.Message)
+		}
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"pending", "error: alert hot firing", "resolved"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("events missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestPendingClearsWithoutFiring(t *testing.T) {
+	f := newAlertFixture(t, Rule{Name: "flap", Expr: "signal", Op: CmpGT, Threshold: 10, ForTicks: 2})
+	f.tick(15)
+	if f.state().State != StatePending {
+		t.Fatalf("state = %s", f.state().State)
+	}
+	f.tick(1)
+	if st := f.state(); st.State != StateInactive || st.FiredCount != 0 {
+		t.Fatalf("state = %+v", st)
+	}
+	// A non-consecutive breach restarts the streak.
+	f.tick(15)
+	f.tick(1)
+	f.tick(15)
+	f.tick(15)
+	if f.state().State != StatePending {
+		t.Fatalf("streak did not restart: %+v", f.state())
+	}
+	f.tick(15)
+	if f.state().State != StateFiring {
+		t.Fatalf("state = %s", f.state().State)
+	}
+}
+
+func TestZScoreAnomalyRule(t *testing.T) {
+	f := newAlertFixture(t, Rule{
+		Name: "anomaly", Expr: "signal", ZScore: 3, Alpha: 0.3, WarmupTicks: 6,
+	})
+	// A steady baseline with small wobble.
+	wobble := []float64{10, 10.2, 9.8, 10.1, 9.9, 10, 10.1, 9.9, 10, 10.2}
+	for _, v := range wobble {
+		f.tick(v)
+		if st := f.state(); st.State != StateInactive {
+			t.Fatalf("baseline tripped the detector at %v: %+v", v, st)
+		}
+	}
+	// A 10x spike is far beyond 3 weighted sigmas.
+	f.tick(100)
+	if st := f.state(); st.State != StateFiring {
+		t.Fatalf("spike not detected: %+v", st)
+	}
+	// Returning to baseline resolves (the EWMA was dragged up by the spike,
+	// but 10 is still within its widened band within a few ticks).
+	for i := 0; i < 8 && f.state().State != StateInactive; i++ {
+		f.tick(10)
+	}
+	if st := f.state(); st.State != StateInactive {
+		t.Fatalf("anomaly did not resolve: %+v", st)
+	}
+}
+
+func TestRuleWithMissingSeriesNeverBreaches(t *testing.T) {
+	f := newAlertFixture(t, Rule{Name: "ghost", Expr: "rate(nope_total[30s])", Op: CmpGT, Threshold: 0})
+	f.tick(1)
+	st := f.state()
+	if st.State != StateInactive || st.LastEvalOK || st.LastError == "" {
+		t.Fatalf("state = %+v", st)
+	}
+}
+
+func TestFiringEventCarriesExemplarTrace(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat_seconds", "lat", nil)
+	clk := newManualNow()
+	store := NewStore(reg, Config{Capacity: 16, Now: clk.now})
+	events := telemetry.NewEventLog(clk.now, 16)
+	engine := NewEngine(store, reg, events)
+	err := engine.AddRule(Rule{
+		Name: "slow", Expr: "lat_seconds_p99", Op: CmpGT, Threshold: 0.5,
+		ExemplarFrom: "lat_seconds",
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ObserveExemplar(2.0, "trace-slow")
+	store.Scrape()
+	engine.Eval()
+	st := engine.States()[0]
+	if st.State != StateFiring || st.LastExemplar != "trace-slow" {
+		t.Fatalf("state = %+v", st)
+	}
+	found := false
+	for _, ev := range events.Events(0) {
+		if strings.Contains(ev.Message, "alert slow firing") && ev.TraceID == "trace-slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no trace-correlated firing event in %v", events.Events(0))
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	f := newAlertFixture(t, Rule{Name: "ok", Expr: "signal", Op: CmpGT})
+	for _, r := range []Rule{
+		{Expr: "signal", Op: CmpGT},                  // no name
+		{Name: "x"},                                  // no expr
+		{Name: "x", Expr: "signal"},                  // no condition
+		{Name: "x", Expr: "signal", Op: ">="},        // bad op
+		{Name: "x", Expr: "rate(signal)", Op: CmpGT}, // bad expr
+	} {
+		if err := f.engine.AddRule(r, nil); err == nil {
+			t.Fatalf("AddRule(%+v) accepted", r)
+		}
+	}
+}
+
+// snapshotMap flattens a registry snapshot into name -> value.
+func snapshotMap(reg *telemetry.Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range reg.Snapshot() {
+		out[p.Name] = p.Value
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Query functions over one windowed series. The grammar is a deliberately
+// tiny PromQL subset — one series per expression, evaluated at one instant:
+//
+//	<series>                                    instant: latest scraped value
+//	rate(<series>[<window>])                    per-second increase (counters)
+//	delta(<series>[<window>])                   last - first in window
+//	avg_over_time(<series>[<window>])           mean of samples in window
+//	min_over_time(<series>[<window>])           minimum in window
+//	max_over_time(<series>[<window>])           maximum in window
+//	quantile_over_time(<q>, <series>[<window>]) q-quantile of samples
+//
+// Series names are exactly the scraped names, including any {label="value"}
+// block and the _count/_sum/_p50/_p95/_p99 suffixes histograms fan out into.
+// Windows use Go duration syntax (30s, 2m).
+
+// Value is one evaluated expression.
+type Value struct {
+	Expr          string  `json:"expr"`
+	Func          string  `json:"func"` // "" for an instant lookup
+	Series        string  `json:"series"`
+	WindowSeconds float64 `json:"windowSeconds"`
+	AtUnixNs      int64   `json:"atUnixNs"`
+	Samples       int     `json:"samples"` // samples the answer was computed from
+	Value         float64 `json:"value"`
+}
+
+// query is one parsed expression.
+type query struct {
+	fn     string
+	series string
+	window time.Duration
+	q      float64 // quantile_over_time only
+}
+
+// windowFuncs maps function name -> whether it takes a leading scalar.
+var windowFuncs = map[string]bool{
+	"rate":               false,
+	"delta":              false,
+	"avg_over_time":      false,
+	"min_over_time":      false,
+	"max_over_time":      false,
+	"quantile_over_time": true,
+}
+
+// parseExpr parses the grammar above.
+func parseExpr(expr string) (query, error) {
+	s := strings.TrimSpace(expr)
+	if s == "" {
+		return query{}, fmt.Errorf("%w: empty expression", ErrBadExpr)
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		// Instant lookup of a bare series.
+		if strings.ContainsAny(s, "[]() ") {
+			return query{}, fmt.Errorf("%w: %q", ErrBadExpr, expr)
+		}
+		return query{series: s}, nil
+	}
+	fn := strings.TrimSpace(s[:open])
+	wantScalar, ok := windowFuncs[fn]
+	if !ok {
+		return query{}, fmt.Errorf("%w: unknown function %q", ErrBadExpr, fn)
+	}
+	if !strings.HasSuffix(s, ")") {
+		return query{}, fmt.Errorf("%w: missing closing paren in %q", ErrBadExpr, expr)
+	}
+	args := s[open+1 : len(s)-1]
+	out := query{fn: fn}
+	if wantScalar {
+		comma := strings.IndexByte(args, ',')
+		if comma < 0 {
+			return query{}, fmt.Errorf("%w: %s needs a quantile argument", ErrBadExpr, fn)
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(args[:comma]), 64)
+		if err != nil || q < 0 || q > 1 {
+			return query{}, fmt.Errorf("%w: quantile %q must be in [0,1]", ErrBadExpr, args[:comma])
+		}
+		out.q = q
+		args = args[comma+1:]
+	}
+	args = strings.TrimSpace(args)
+	lb := strings.LastIndexByte(args, '[')
+	if lb < 0 || !strings.HasSuffix(args, "]") {
+		return query{}, fmt.Errorf("%w: %s needs a [window] selector", ErrBadExpr, fn)
+	}
+	win, err := time.ParseDuration(strings.TrimSpace(args[lb+1 : len(args)-1]))
+	if err != nil || win <= 0 {
+		return query{}, fmt.Errorf("%w: bad window in %q", ErrBadExpr, expr)
+	}
+	out.series = strings.TrimSpace(args[:lb])
+	out.window = win
+	if out.series == "" {
+		return query{}, fmt.Errorf("%w: missing series in %q", ErrBadExpr, expr)
+	}
+	return out, nil
+}
+
+// Eval parses and evaluates one expression at the given instant (the window
+// is [at-window, at], boundaries inclusive).
+func (st *Store) Eval(expr string, at time.Time) (Value, error) {
+	q, err := parseExpr(expr)
+	if err != nil {
+		return Value{}, err
+	}
+	out := Value{Expr: expr, Func: q.fn, Series: q.series, AtUnixNs: at.UnixNano()}
+	if q.fn == "" {
+		sm, err := st.Latest(q.series)
+		if err != nil {
+			return Value{}, err
+		}
+		out.Samples = 1
+		out.Value = sm.Value
+		return out, nil
+	}
+	out.WindowSeconds = q.window.Seconds()
+	samples, err := st.Samples(q.series, at.Add(-q.window), at)
+	if err != nil {
+		return Value{}, err
+	}
+	out.Samples = len(samples)
+	min2 := 2
+	if strings.HasSuffix(q.fn, "_over_time") {
+		min2 = 1
+	}
+	if len(samples) < min2 {
+		return Value{}, fmt.Errorf("%w: %s over %s has %d", ErrNoSamples, q.series, q.window, len(samples))
+	}
+	switch q.fn {
+	case "rate":
+		out.Value = rate(samples)
+	case "delta":
+		out.Value = samples[len(samples)-1].Value - samples[0].Value
+	case "avg_over_time":
+		var sum float64
+		for _, s := range samples {
+			sum += s.Value
+		}
+		out.Value = sum / float64(len(samples))
+	case "min_over_time":
+		out.Value = math.Inf(1)
+		for _, s := range samples {
+			out.Value = math.Min(out.Value, s.Value)
+		}
+	case "max_over_time":
+		out.Value = math.Inf(-1)
+		for _, s := range samples {
+			out.Value = math.Max(out.Value, s.Value)
+		}
+	case "quantile_over_time":
+		out.Value = quantile(samples, q.q)
+	}
+	return out, nil
+}
+
+// rate is the per-second increase across the window's samples: the sum of
+// positive adjacent deltas (negative deltas are counter resets and restart
+// the accumulation from the post-reset value, like PromQL) divided by the
+// observed sample span. With an exact sample at each window edge this equals
+// (last-first)/(t_last-t_first) for a monotonic counter.
+func rate(samples []Sample) float64 {
+	var inc float64
+	for i := 1; i < len(samples); i++ {
+		d := samples[i].Value - samples[i-1].Value
+		if d > 0 {
+			inc += d
+		} else if d < 0 { // reset: the whole post-reset value is new increase
+			inc += samples[i].Value
+		}
+	}
+	span := float64(samples[len(samples)-1].TimeUnixNs-samples[0].TimeUnixNs) / 1e9
+	if span <= 0 {
+		return 0
+	}
+	return inc / span
+}
+
+// quantile returns the q-quantile of the sample values by linear
+// interpolation between order statistics.
+func quantile(samples []Sample, q float64) float64 {
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = s.Value
+	}
+	sort.Float64s(vals)
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	rank := q * float64(len(vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := rank - float64(lo)
+	return vals[lo] + (vals[hi]-vals[lo])*frac
+}

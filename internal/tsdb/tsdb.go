@@ -1,0 +1,261 @@
+// Package tsdb is an embedded, dependency-free metrics time-series store:
+// it periodically scrapes a telemetry.Registry into fixed-capacity
+// ring-buffer series and answers windowed queries over the retained history
+// — rate(), delta(), avg/min/max_over_time(), quantile_over_time() — so the
+// dashboard tier can ask "what was the ingest rate over the last minute"
+// instead of only "what is the counter now". An alert engine (alerts.go)
+// evaluates declarative rules over the same query layer each scrape tick.
+//
+// Everything runs on an injected clock, so experiments and tests drive
+// scrape ticks deterministically on the simulated clock without sleeping;
+// production deployments pass time.Now and a real ticker.
+package tsdb
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownSeries = errors.New("tsdb: unknown series")
+	ErrBadExpr       = errors.New("tsdb: bad query expression")
+	ErrNoSamples     = errors.New("tsdb: not enough samples in window")
+)
+
+// Sample is one scraped observation of a series.
+type Sample struct {
+	TimeUnixNs int64   `json:"timeUnixNs"`
+	Value      float64 `json:"value"`
+}
+
+// series is one metric's ring-buffer history.
+type series struct {
+	kind string // "counter" or "gauge"
+	buf  []Sample
+	next int
+	full bool
+}
+
+func (s *series) append(sm Sample) {
+	s.buf[s.next] = sm
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+}
+
+// snapshot returns retained samples in chronological order.
+func (s *series) snapshot() []Sample {
+	n := s.next
+	if s.full {
+		n = len(s.buf)
+	}
+	out := make([]Sample, 0, n)
+	start := 0
+	if s.full {
+		start = s.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, s.buf[(start+i)%len(s.buf)])
+	}
+	return out
+}
+
+func (s *series) len() int {
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+func (s *series) latest() (Sample, bool) {
+	if s.next == 0 && !s.full {
+		return Sample{}, false
+	}
+	return s.buf[(s.next-1+len(s.buf))%len(s.buf)], true
+}
+
+// Config sizes a Store.
+type Config struct {
+	// Capacity is the per-series ring size (<=0 means 512 samples).
+	Capacity int
+	// Now is the scrape clock (nil means time.Now). Experiments pass the
+	// simulated clock's Now so history is deterministic.
+	Now func() time.Time
+}
+
+// Store scrapes one registry into per-metric ring-buffer series. Scrape,
+// queries, and inventory reads are all safe for concurrent use — the scrape
+// takes the registry snapshot outside the store lock, so ingest traffic
+// recording into the registry never blocks behind a query.
+type Store struct {
+	reg *telemetry.Registry
+	now func() time.Time
+	cap int
+
+	mu        sync.RWMutex
+	series    map[string]*series
+	exemplars map[string]string // histogram family -> worst-bucket trace id
+	scrapes   int64
+}
+
+// NewStore builds an empty store over the registry.
+func NewStore(reg *telemetry.Registry, cfg Config) *Store {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 512
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Store{
+		reg: reg, now: cfg.Now, cap: cfg.Capacity,
+		series:    make(map[string]*series),
+		exemplars: make(map[string]string),
+	}
+}
+
+// Now returns the store's current clock reading.
+func (st *Store) Now() time.Time { return st.now() }
+
+// Scrapes returns how many scrape ticks have run.
+func (st *Store) Scrapes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.scrapes
+}
+
+// suffixName appends a suffix to a metric family, keeping any {label} block
+// at the end: name{k="v"} + "_p99" -> name_p99{k="v"}.
+func suffixName(name, suffix string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i] + suffix + name[i:]
+		}
+	}
+	return name + suffix
+}
+
+// Scrape takes one registry snapshot at the current clock reading and
+// appends a sample to every series. Counters and gauges map to one series
+// each; histograms fan out into _count and _sum counter series plus _p50,
+// _p95, and _p99 gauge series derived from the registry's quantile
+// estimates (which is what quantile-over-history queries read). It returns
+// the number of series updated.
+func (st *Store) Scrape() int {
+	// Snapshot outside the lock: CounterFunc/GaugeFunc callbacks read
+	// component stats and must not serialize against concurrent queries.
+	points := st.reg.Snapshot()
+	at := st.now().UnixNano()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.scrapes++
+	updated := 0
+	add := func(name, kind string, v float64) {
+		s, ok := st.series[name]
+		if !ok {
+			s = &series{kind: kind, buf: make([]Sample, st.cap)}
+			st.series[name] = s
+		}
+		s.append(Sample{TimeUnixNs: at, Value: v})
+		updated++
+	}
+	for _, p := range points {
+		switch p.Type {
+		case "counter":
+			add(p.Name, "counter", p.Value)
+		case "gauge":
+			add(p.Name, "gauge", p.Value)
+		case "histogram":
+			add(suffixName(p.Name, "_count"), "counter", float64(p.Count))
+			add(suffixName(p.Name, "_sum"), "counter", p.Sum)
+			add(suffixName(p.Name, "_p50"), "gauge", p.P50)
+			add(suffixName(p.Name, "_p95"), "gauge", p.P95)
+			add(suffixName(p.Name, "_p99"), "gauge", p.P99)
+			if p.ExemplarTrace != "" {
+				st.exemplars[p.Name] = p.ExemplarTrace
+			}
+		}
+	}
+	return updated
+}
+
+// ExemplarTrace returns the most recently scraped worst-bucket exemplar
+// trace id for a histogram family ("" when none was retained) — how a
+// firing alert correlates itself to an inspectable trace.
+func (st *Store) ExemplarTrace(family string) string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.exemplars[family]
+}
+
+// Samples returns the retained samples of one series with timestamps in
+// [from, to], chronological.
+func (st *Store) Samples(name string, from, to time.Time) ([]Sample, error) {
+	st.mu.RLock()
+	s, ok := st.series[name]
+	if !ok {
+		st.mu.RUnlock()
+		return nil, ErrUnknownSeries
+	}
+	all := s.snapshot()
+	st.mu.RUnlock()
+	lo, hi := from.UnixNano(), to.UnixNano()
+	out := all[:0:0]
+	for _, sm := range all {
+		if sm.TimeUnixNs >= lo && sm.TimeUnixNs <= hi {
+			out = append(out, sm)
+		}
+	}
+	return out, nil
+}
+
+// Latest returns the newest sample of one series.
+func (st *Store) Latest(name string) (Sample, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.series[name]
+	if !ok {
+		return Sample{}, ErrUnknownSeries
+	}
+	sm, ok := s.latest()
+	if !ok {
+		return Sample{}, ErrNoSamples
+	}
+	return sm, nil
+}
+
+// SeriesInfo describes one retained series for the inventory endpoint.
+type SeriesInfo struct {
+	Name         string  `json:"name"`
+	Kind         string  `json:"kind"`
+	Samples      int     `json:"samples"`
+	FirstUnixNs  int64   `json:"firstUnixNs"`
+	LatestUnixNs int64   `json:"latestUnixNs"`
+	LatestValue  float64 `json:"latestValue"`
+}
+
+// Inventory lists every series in name order.
+func (st *Store) Inventory() []SeriesInfo {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]SeriesInfo, 0, len(st.series))
+	for name, s := range st.series {
+		info := SeriesInfo{Name: name, Kind: s.kind, Samples: s.len()}
+		snap := s.snapshot()
+		if len(snap) > 0 {
+			info.FirstUnixNs = snap[0].TimeUnixNs
+			info.LatestUnixNs = snap[len(snap)-1].TimeUnixNs
+			info.LatestValue = snap[len(snap)-1].Value
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

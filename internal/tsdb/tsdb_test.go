@@ -1,0 +1,130 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// manualNow is a trivial settable clock for tests.
+type manualNow struct{ t time.Time }
+
+func (m *manualNow) now() time.Time          { return m.t }
+func (m *manualNow) advance(d time.Duration) { m.t = m.t.Add(d) }
+func newManualNow() *manualNow               { return &manualNow{t: time.Unix(1_000_000, 0)} }
+func newTestStore(reg *telemetry.Registry, capacity int) (*Store, *manualNow) {
+	clk := newManualNow()
+	return NewStore(reg, Config{Capacity: capacity, Now: clk.now}), clk
+}
+
+func TestScrapeFansOutSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("jobs_total", "jobs")
+	g := reg.Gauge("queue_depth", "depth")
+	h := reg.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	st, clk := newTestStore(reg, 16)
+
+	c.Add(3)
+	g.Set(7)
+	h.ObserveExemplar(0.05, "trace-1")
+	h.Observe(5)
+	if n := st.Scrape(); n != 7 { // counter + gauge + histogram×5
+		t.Fatalf("scrape updated %d series, want 7", n)
+	}
+	clk.advance(5 * time.Second)
+	c.Add(2)
+	st.Scrape()
+
+	inv := st.Inventory()
+	names := make(map[string]SeriesInfo, len(inv))
+	for _, s := range inv {
+		names[s.Name] = s
+	}
+	for name, kind := range map[string]string{
+		"jobs_total":            "counter",
+		"queue_depth":           "gauge",
+		"latency_seconds_count": "counter",
+		"latency_seconds_sum":   "counter",
+		"latency_seconds_p50":   "gauge",
+		"latency_seconds_p95":   "gauge",
+		"latency_seconds_p99":   "gauge",
+	} {
+		info, ok := names[name]
+		if !ok {
+			t.Fatalf("series %q missing from inventory %v", name, names)
+		}
+		if info.Kind != kind || info.Samples != 2 {
+			t.Fatalf("series %q = %+v, want kind %s with 2 samples", name, info, kind)
+		}
+	}
+	last, err := st.Latest("jobs_total")
+	if err != nil || last.Value != 5 {
+		t.Fatalf("latest jobs_total = %+v, %v", last, err)
+	}
+	if tr := st.ExemplarTrace("latency_seconds"); tr != "trace-1" {
+		t.Fatalf("exemplar trace = %q", tr)
+	}
+	if _, err := st.Latest("nope"); err != ErrUnknownSeries {
+		t.Fatalf("unknown series error = %v", err)
+	}
+}
+
+func TestSuffixNameKeepsLabels(t *testing.T) {
+	if got := suffixName(`lat{table="crimes"}`, "_p99"); got != `lat_p99{table="crimes"}` {
+		t.Fatalf("suffixName = %q", got)
+	}
+	if got := suffixName("lat", "_count"); got != "lat_count" {
+		t.Fatalf("suffixName = %q", got)
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("n_total", "n")
+	st, clk := newTestStore(reg, 4)
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		st.Scrape()
+		clk.advance(time.Second)
+	}
+	samples, err := st.Samples("n_total", time.Unix(0, 0), clk.t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("retained %d samples, want capacity 4", len(samples))
+	}
+	// Chronological, and the oldest retained sample is scrape #7 (value 7).
+	if samples[0].Value != 7 || samples[3].Value != 10 {
+		t.Fatalf("samples = %v", samples)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TimeUnixNs <= samples[i-1].TimeUnixNs {
+			t.Fatalf("samples out of order: %v", samples)
+		}
+	}
+	if st.Scrapes() != 10 {
+		t.Fatalf("scrapes = %d", st.Scrapes())
+	}
+}
+
+func TestSamplesWindowBoundaries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("v", "v")
+	st, clk := newTestStore(reg, 16)
+	t0 := clk.t
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i))
+		st.Scrape()
+		clk.advance(10 * time.Second)
+	}
+	// [t0+10s, t0+30s] inclusive: samples 1, 2, 3.
+	got, err := st.Samples("v", t0.Add(10*time.Second), t0.Add(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Value != 1 || got[2].Value != 3 {
+		t.Fatalf("windowed samples = %v", got)
+	}
+}

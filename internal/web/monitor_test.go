@@ -1,0 +1,208 @@
+package web
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"repro/internal/citydata"
+	"repro/internal/core"
+)
+
+// smallTweets regenerates a fresh batch against the server's gang network,
+// for tests that need traffic after boot.
+func smallTweets(t *testing.T, inf *core.Infrastructure, n int, seed int64) []citydata.Tweet {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := inf.Config()
+	incidents, err := citydata.GenerateCrimes(citydata.DefaultCrimeConfig(cfg.Epoch), inf.Gang.Nodes(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := citydata.DefaultTweetConfig(cfg.Epoch)
+	tcfg.Count = n
+	tweets, err := citydata.GenerateTweets(tcfg, incidents, inf.Gang, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tweets
+}
+
+func TestSeriesEndpoint(t *testing.T) {
+	srv, inf := newTestServer(t)
+
+	// Before any scrape the store is empty but the endpoint still answers.
+	out := getJSON(t, srv.URL+"/api/series", http.StatusOK)
+	if out["scrapes"].(float64) != 0 || out["count"].(float64) != 0 {
+		t.Fatalf("pre-scrape inventory = %v", out)
+	}
+
+	inf.MonitorTick()
+	inf.MonitorTick()
+	out = getJSON(t, srv.URL+"/api/series", http.StatusOK)
+	if out["scrapes"].(float64) != 2 {
+		t.Fatalf("scrapes = %v", out["scrapes"])
+	}
+	series := out["series"].([]any)
+	if len(series) == 0 {
+		t.Fatal("no series after two scrapes")
+	}
+	names := make(map[string]map[string]any, len(series))
+	for _, s := range series {
+		m := s.(map[string]any)
+		names[m["name"].(string)] = m
+	}
+	// The counter itself, a histogram-derived quantile series, and the
+	// alert-engine gauge must all be retained.
+	for _, want := range []string{
+		"cityinfra_pipeline_collected_total",
+		"cityinfra_pipeline_ingest_seconds_p99",
+		"cityinfra_tsdb_alerts_firing",
+	} {
+		m, ok := names[want]
+		if !ok {
+			t.Fatalf("inventory missing %q", want)
+		}
+		if m["samples"].(float64) != 2 {
+			t.Fatalf("%s samples = %v, want 2", want, m["samples"])
+		}
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, inf := newTestServer(t)
+	inf.MonitorTick()
+	if _, err := inf.IngestTweets(smallTweets(t, inf, 50, 21)); err != nil {
+		t.Fatal(err)
+	}
+	inf.MonitorTick()
+
+	// Instant lookup returns the scraped counter value.
+	out := getJSON(t, srv.URL+"/api/query?expr=cityinfra_pipeline_collected_total", http.StatusOK)
+	if out["value"].(float64) < 350 { // 300 at boot + 50 here, plus crimes
+		t.Fatalf("instant value = %v", out["value"])
+	}
+	if out["series"] != "cityinfra_pipeline_collected_total" || out["func"] != "" {
+		t.Fatalf("instant query shape = %v", out)
+	}
+
+	// Windowed rate over the two scrapes sees the 50-tweet batch.
+	out = getJSON(t, srv.URL+"/api/query?expr=rate(cityinfra_pipeline_collected_total[15s])", http.StatusOK)
+	if out["func"] != "rate" || out["samples"].(float64) < 2 {
+		t.Fatalf("rate query shape = %v", out)
+	}
+	if out["value"].(float64) <= 0 {
+		t.Fatalf("rate = %v, want > 0 after ingesting between scrapes", out["value"])
+	}
+
+	// Error taxonomy: bad requests are 400, unknown/empty series are 404.
+	for _, bad := range []string{
+		"",               // missing expr
+		"rate(foo[",      // unparseable
+		"nope(foo[15s])", // unknown function
+		"quantile_over_time(2, cityinfra_pipeline_collected_total[15s])", // q out of range
+	} {
+		getJSON(t, srv.URL+"/api/query?expr="+url.QueryEscape(bad), http.StatusBadRequest)
+	}
+	getJSON(t, srv.URL+"/api/query?expr=no_such_series", http.StatusNotFound)
+	getJSON(t, srv.URL+"/api/query?expr="+url.QueryEscape("rate(no_such_series[15s])"), http.StatusNotFound)
+}
+
+func TestAlertingEndpoint(t *testing.T) {
+	srv, inf := newTestServer(t)
+	inf.MonitorTick()
+	out := getJSON(t, srv.URL+"/api/alerting", http.StatusOK)
+	if int(out["count"].(float64)) != len(core.DefaultAlertRules()) {
+		t.Fatalf("rule count = %v, want %d", out["count"], len(core.DefaultAlertRules()))
+	}
+	if len(out["firing"].([]any)) != 0 {
+		t.Fatalf("firing at boot = %v", out["firing"])
+	}
+	rules := out["rules"].([]any)
+	seen := make(map[string]bool)
+	for _, r := range rules {
+		m := r.(map[string]any)
+		seen[m["rule"].(map[string]any)["name"].(string)] = true
+		if m["state"] != "inactive" {
+			t.Fatalf("rule state at boot = %v", m)
+		}
+	}
+	if !seen["ingest-delivery-rate"] {
+		t.Fatalf("rules = %v", seen)
+	}
+}
+
+// TestHealthDegradedWhenAlertFiring drives the shipped delivery-rate rule to
+// firing through real traffic and checks /api/health flips to "degraded"
+// while staying HTTP 200 (the process is up; the system is unhealthy).
+func TestHealthDegradedWhenAlertFiring(t *testing.T) {
+	srv, inf := newTestServer(t)
+	tweets := smallTweets(t, inf, 30, 23)
+
+	for i := 0; i < 3; i++ {
+		if _, err := inf.IngestTweets(tweets); err != nil {
+			t.Fatal(err)
+		}
+		inf.MonitorTick()
+	}
+	if out := getJSON(t, srv.URL+"/api/health", http.StatusOK); out["status"] != "ok" {
+		t.Fatalf("healthy baseline = %v", out)
+	}
+
+	// Two poisoned ticks: breach → pending → firing.
+	for i := 0; i < 2; i++ {
+		if _, _, err := inf.Broker.Produce("tweets", "poison", []byte("{malformed")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inf.IngestTweets(tweets); err != nil {
+			t.Fatal(err)
+		}
+		inf.MonitorTick()
+	}
+
+	out := getJSON(t, srv.URL+"/api/health", http.StatusOK)
+	if out["status"] != "degraded" {
+		t.Fatalf("health after firing alert = %v", out)
+	}
+	firing := out["alertsFiring"].([]any)
+	if len(firing) != 1 || firing[0] != "ingest-delivery-rate" {
+		t.Fatalf("alertsFiring = %v", firing)
+	}
+}
+
+// TestLimitParamValidation pins the ?limit= contract on every listing
+// endpoint: absent or positive integers work, zero/negative/non-numeric are
+// rejected with 400.
+func TestLimitParamValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	endpoints := []string{"/api/traces", "/api/events"}
+	cases := []struct {
+		limit      string
+		wantStatus int
+	}{
+		{"", http.StatusOK},
+		{"1", http.StatusOK},
+		{"100", http.StatusOK},
+		{"0", http.StatusBadRequest},
+		{"-3", http.StatusBadRequest},
+		{"junk", http.StatusBadRequest},
+		{"1.5", http.StatusBadRequest},
+		{"+2x", http.StatusBadRequest},
+	}
+	for _, ep := range endpoints {
+		for _, tc := range cases {
+			url := srv.URL + ep
+			if tc.limit != "" {
+				url += "?limit=" + tc.limit
+			}
+			t.Run(fmt.Sprintf("%s limit=%q", ep, tc.limit), func(t *testing.T) {
+				out := getJSON(t, url, tc.wantStatus)
+				if tc.wantStatus == http.StatusBadRequest && out["error"] == nil {
+					t.Fatalf("400 body carries no error: %v", out)
+				}
+			})
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/tsdb"
 )
 
 // ErrBadRequest marks client-side parameter errors.
@@ -46,6 +47,9 @@ func NewServer(inf *core.Infrastructure) *Server {
 	s.mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /api/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/slo", s.handleSLO)
+	s.mux.HandleFunc("GET /api/query", s.handleQuery)
+	s.mux.HandleFunc("GET /api/series", s.handleSeries)
+	s.mux.HandleFunc("GET /api/alerting", s.handleAlerting)
 	s.registerRuntimeMetrics()
 	return s
 }
@@ -94,10 +98,35 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// handleHealth is the one probe-able health signal for orchestrators. It
+// stays HTTP 200 either way but reports "degraded" when any SLO is burning
+// its error budget faster than the objective allows (burn rate > 1.0) or
+// any alert rule is firing, with the offenders named.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.inf.HDFS.Status()
+	status := "ok"
+	burning := []string{} // non-nil so the JSON field is always an array
+	maxBurn := 0.0
+	for _, rep := range s.inf.SLOs.Reports() {
+		if rep.BurnRate > maxBurn {
+			maxBurn = rep.BurnRate
+		}
+		if rep.BurnRate > 1.0 {
+			burning = append(burning, rep.Name)
+		}
+	}
+	firing := s.inf.Alerts.Firing()
+	if firing == nil {
+		firing = []string{}
+	}
+	if len(burning) > 0 || len(firing) > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":          "ok",
+		"status":          status,
+		"sloMaxBurnRate":  maxBurn,
+		"slosBurning":     burning,
+		"alertsFiring":    firing,
 		"hdfsLiveNodes":   st.LiveNodes,
 		"hdfsLostBlocks":  st.LostBlocks,
 		"brokerTopics":    s.inf.Broker.Topics(),
@@ -167,6 +196,48 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 	reps := s.inf.SLOs.Reports()
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(reps), "slos": reps})
+}
+
+// handleQuery evaluates one windowed expression against the time-series
+// store at its current clock reading: rate(), delta(), avg/min/max_over_time,
+// quantile_over_time, or a bare series name for an instant lookup.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	expr := r.URL.Query().Get("expr")
+	if expr == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: missing expr", ErrBadRequest))
+		return
+	}
+	v, err := s.inf.TSDB.Eval(expr, s.inf.TSDB.Now())
+	switch {
+	case errors.Is(err, tsdb.ErrUnknownSeries), errors.Is(err, tsdb.ErrNoSamples):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleSeries lists the store's retained series inventory.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	inv := s.inf.TSDB.Inventory()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(inv), "scrapes": s.inf.TSDB.Scrapes(), "series": inv,
+	})
+}
+
+// handleAlerting serves the alert engine's rule states — the declarative
+// rule feed, distinct from the operator alert queue at /api/alerts.
+func (s *Server) handleAlerting(w http.ResponseWriter, r *http.Request) {
+	states := s.inf.Alerts.States()
+	firing := s.inf.Alerts.Firing()
+	if firing == nil {
+		firing = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(states), "firing": firing, "rules": states,
+	})
 }
 
 // handleTrace serves one trace's spans plus its per-stage latency breakdown.
