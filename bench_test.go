@@ -213,6 +213,38 @@ func BenchmarkE18_ChaosPipeline(b *testing.B)      { benchExperiment(b, "E18") }
 func BenchmarkE19_LatencyAttribution(b *testing.B) { benchExperiment(b, "E19") }
 func BenchmarkE20_TracedChaosSweep(b *testing.B)   { benchExperiment(b, "E20") }
 func BenchmarkE21_MetricsMonitor(b *testing.B)     { benchExperiment(b, "E21") }
+func BenchmarkE22_ClusterFailover(b *testing.B)    { benchExperiment(b, "E22") }
+
+// benchCluster measures the replicated produce path: RF 1 acks on the
+// leader's append alone, RF 3 acks only after the record lands on every
+// in-sync replica, so the delta between the two is the replication tax.
+func benchCluster(b *testing.B, rf int) {
+	c, err := stream.NewCluster(stream.ClusterConfig{Nodes: 3, Replication: rf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.CreateTopic("bench", 4); err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("camera frame annotation record")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Produce("bench", fmt.Sprintf("k%d", i%16), payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 99 {
+			if _, err := c.Poll("g", "bench", 100); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.CommitPolled("g", "bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkClusterProduceRF1(b *testing.B) { benchCluster(b, 1) }
+func BenchmarkClusterProduceRF3(b *testing.B) { benchCluster(b, 3) }
 
 // --- Monitoring-layer hot paths: scrape and query per tick ---
 

@@ -29,6 +29,8 @@ var watchRows = []watchSeries{
 	{label: "retries", series: "cityinfra_pipeline_retries_total", counter: true, scale: 1, unit: "op/s"},
 	{label: "ingest p99", series: "cityinfra_pipeline_ingest_seconds_p99", counter: false, scale: 1e3, unit: "ms"},
 	{label: "breaker", series: "cityinfra_breaker_state", counter: false, scale: 1, unit: "state"},
+	{label: "under-repl parts", series: "cityinfra_broker_under_replicated_partitions", counter: false, scale: 1, unit: "parts"},
+	{label: "leaderless parts", series: "cityinfra_broker_leaderless_partitions", counter: false, scale: 1, unit: "parts"},
 }
 
 // historyValues returns up to n plotted values for one watch row from the
@@ -88,6 +90,21 @@ func renderWatch(inf *core.Infrastructure, w io.Writer, frame int, clear bool) {
 		fmt.Fprintf(w, "  %-*s  %s  %8.4g %s\n",
 			width, ws.label, viz.Sparkline(vals), vals[len(vals)-1], ws.unit)
 	}
+
+	// Broker cluster pane: node liveness plus the replication counters that
+	// tell an operator whether the streaming spine can lose a node right now.
+	cst := inf.Broker.State()
+	var nodeBits []string
+	for _, n := range cst.Nodes {
+		mark := "up"
+		if !n.Up {
+			mark = "DOWN"
+		}
+		nodeBits = append(nodeBits, fmt.Sprintf("n%d:%s(lead %d)", n.ID, mark, n.Leading))
+	}
+	fmt.Fprintf(w, "\n  broker cluster   %s\n", strings.Join(nodeBits, "  "))
+	fmt.Fprintf(w, "  replication      under-replicated %d, leaderless %d, elections %d (unclean %d), last failover %d ticks\n",
+		cst.UnderReplicated, cst.Leaderless, cst.Stats.Elections, cst.Stats.UncleanElections, cst.Stats.LastFailoverTicks)
 
 	slo := viz.NewTable("SLO burn", "objective", "error rate", "burn rate")
 	for _, rep := range inf.SLOs.Reports() {

@@ -1,11 +1,11 @@
 // Command experiments regenerates the paper's figures and quantitative
-// claims (experiments E1..E21, see DESIGN.md §4). Without arguments it runs
+// claims (experiments E1..E22, see DESIGN.md §4). Without arguments it runs
 // everything; pass experiment ids to run a subset.
 //
 //	go run ./cmd/experiments                         # all experiments
 //	go run ./cmd/experiments E3 E5                   # just the fog sweep and detector
 //	go run ./cmd/experiments -seed 7 E9
-//	go run ./cmd/experiments -bench-json BENCH_PR5.json
+//	go run ./cmd/experiments -bench-json BENCH_PR6.json
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
@@ -32,7 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed shared by all experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	benchJSON := fs.String("bench-json", "", "benchmark the E18..E21 hot paths plus the monitoring micro paths and write ops/sec + p99 JSON to this file")
+	benchJSON := fs.String("bench-json", "", "benchmark the E18..E22 hot paths plus the monitoring and broker micro paths and write ops/sec + p99 JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,15 +115,30 @@ func benchMonitorFixture(seed int64) (*telemetry.Registry, *tsdb.Store, func()) 
 	return reg, store, advance
 }
 
+// benchClusterFixture builds a standalone broker cluster for the replication
+// micro benchmarks: 3 nodes at the given replication factor, one 4-partition
+// topic, so RF 1 vs RF 3 isolates the cost of ack-after-ISR replication.
+func benchClusterFixture(rf int) (*stream.Cluster, error) {
+	c, err := stream.NewCluster(stream.ClusterConfig{Nodes: 3, Replication: rf})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.CreateTopic("bench", 4); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // writeBenchJSON times the heaviest pipeline experiments — E18 (chaos sweep
 // through the hardened ingestion path), E19 (fog latency attribution), E20
-// (traced chaos sweep across the offload boundary), and E21 (metrics
-// monitor loop) — plus the monitoring micro paths a deployment pays every
-// scrape tick, and records throughput plus tail latency.
+// (traced chaos sweep across the offload boundary), E21 (metrics monitor
+// loop), and E22 (replicated-broker failover) — plus the monitoring and
+// broker micro paths a deployment pays on every scrape tick and produce,
+// and records throughput plus tail latency.
 func writeBenchJSON(path string, seed int64) error {
 	const iters = 20
 	var results []benchResult
-	for _, id := range []string{"E18", "E19", "E20", "E21"} {
+	for _, id := range []string{"E18", "E19", "E20", "E21", "E22"} {
 		r, err := benchLoop(id, iters, func(i int) error {
 			res, err := experiments.Run(id, seed+int64(i))
 			if err == nil && len(res.Tables) == 0 {
@@ -170,6 +186,37 @@ func writeBenchJSON(path string, seed int64) error {
 		return err
 	}
 	results = append(results, snap, scrape, eval)
+
+	// Broker micro paths: produce at RF 1 (leader-only ack) vs RF 3 (ack
+	// after full-ISR replication), and the poll-then-commit consumer hop.
+	for _, rf := range []int{1, 3} {
+		c, err := benchClusterFixture(rf)
+		if err != nil {
+			return err
+		}
+		prod, err := benchLoop(fmt.Sprintf("Cluster.ProduceRF%d", rf), microIters, func(i int) error {
+			_, _, err := c.Produce("bench", fmt.Sprintf("k%d", i), []byte("payload"))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		poll, err := benchLoop(fmt.Sprintf("Cluster.PollRF%d", rf), microIters, func(i int) error {
+			recs, err := c.Poll("bench-consumer", "bench", 1)
+			if err != nil {
+				return err
+			}
+			if len(recs) != 1 {
+				return fmt.Errorf("poll %d returned %d records", i, len(recs))
+			}
+			return c.CommitPolled("bench-consumer", "bench")
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, prod, poll)
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err

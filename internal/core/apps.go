@@ -191,7 +191,10 @@ func (cw *CrimeWatch) MonitorClips(cameraID string, set *video.ClipSet, at time.
 	return rep, nil
 }
 
-// PendingAlerts drains the operator's alert queue.
+// PendingAlerts drains the operator's alert queue with the replicated
+// broker's poll-then-commit flow: the batch is decoded first and offsets
+// advance only afterwards, so a failure here redelivers the alerts instead
+// of dropping them on the operator's floor.
 func (inf *Infrastructure) PendingAlerts(max int) ([]Alert, error) {
 	recs, err := inf.Broker.Poll("operators", "alerts", max)
 	if err != nil {
@@ -204,6 +207,9 @@ func (inf *Infrastructure) PendingAlerts(max int) ([]Alert, error) {
 			return nil, fmt.Errorf("decode alert: %w", err)
 		}
 		out = append(out, a)
+	}
+	if err := inf.Broker.CommitPolled("operators", "alerts"); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

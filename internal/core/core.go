@@ -50,6 +50,11 @@ type Config struct {
 	MemPerNodeMB    int
 	Parallelism     int
 	TopicPartitions int
+	// BrokerNodes sizes the replicated stream cluster; partition replicas
+	// (Replication per partition, shared with the HDFS factor) spread across
+	// these nodes. 0 defaults to max(Replication, 1) — the smallest cluster
+	// that can host every replica.
+	BrokerNodes int
 	// Hardware layer (fog tiers).
 	Fog fog.DeploymentConfig
 	// Data layer.
@@ -65,7 +70,7 @@ func DefaultConfig() Config {
 	return Config{
 		DataNodes: 4, BlockSize: 64 * 1024, Replication: 3,
 		ComputeNodes: 4, CoresPerNode: 4, MemPerNodeMB: 8192,
-		Parallelism: 4, TopicPartitions: 4,
+		Parallelism: 4, TopicPartitions: 4, BrokerNodes: 3,
 		Fog:     fog.DefaultDeploymentConfig(),
 		Cameras: 220,
 		Gang:    socialgraph.PaperConfig(),
@@ -79,10 +84,13 @@ type Infrastructure struct {
 	rng *rand.Rand
 
 	// Software layer.
-	HDFS     *hdfs.Cluster
-	RM       *yarn.ResourceManager
-	Engine   *dataproc.Engine
-	Broker   *stream.Broker
+	HDFS   *hdfs.Cluster
+	RM     *yarn.ResourceManager
+	Engine *dataproc.Engine
+	// Broker is the replicated stream cluster: BrokerNodes nodes hosting
+	// Replication copies of every partition, with per-partition leader
+	// election driven by MonitorTick.
+	Broker   *stream.Cluster
 	DocDB    *docstore.Database
 	CrimeTab *hbase.Table // row: incident report number
 	VideoTab *hbase.Table // row: camera/time annotations
@@ -122,10 +130,11 @@ type Infrastructure struct {
 	Alerts         *tsdb.Engine
 	ScrapeInterval time.Duration
 
-	busMetrics    *stream.BusMetrics
-	flumeTel      *flume.AgentTelemetry
-	ingestSeq     atomic.Int64
-	ingestSeconds *telemetry.Histogram
+	busMetrics      *stream.BusMetrics
+	flumeTel        *flume.AgentTelemetry
+	ingestSeq       atomic.Int64
+	ingestSeconds   *telemetry.Histogram
+	failoverSeconds *telemetry.Histogram
 	pipeCollected, pipeStreamed, pipeStored,
 	pipeDropped, pipeDeadLettered, pipeRetries *telemetry.Counter
 
@@ -170,8 +179,23 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 	inf.Engine = dataproc.NewEngine(cfg.Parallelism,
 		dataproc.WithYARN(inf.RM, app, yarn.Resources{Cores: 1, MemMB: 1024}))
 
-	// Software layer: streaming + NoSQL.
-	inf.Broker = stream.NewBroker()
+	// Software layer: streaming + NoSQL. The broker is a replicated cluster
+	// sized like the HDFS tier: Replication copies of every partition spread
+	// across BrokerNodes nodes, so losing a broker node loses no acknowledged
+	// record.
+	brokerNodes := cfg.BrokerNodes
+	if brokerNodes == 0 {
+		brokerNodes = cfg.Replication
+		if brokerNodes < 1 {
+			brokerNodes = 1
+		}
+	}
+	inf.Broker, err = stream.NewCluster(stream.ClusterConfig{
+		Nodes: brokerNodes, Replication: cfg.Replication,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("boot broker: %w", err)
+	}
 	for _, topic := range []string{"tweets", "waze", "crimes", "calls911", "frames", "alerts"} {
 		if err := inf.Broker.CreateTopic(topic, cfg.TopicPartitions); err != nil {
 			return nil, fmt.Errorf("boot broker: %w", err)
@@ -195,6 +219,9 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 	inf.Retry = retry.NewPolicy(retry.DefaultConfig(), cfg.Epoch.UnixNano()).
 		WithClock(inf.Clock).WithBreaker(inf.Breaker)
 	inf.RedriveRounds = 5
+	// Broker record timestamps ride the same simulated clock as everything
+	// else, so failover timelines are reproducible tick for tick.
+	inf.Broker.SetClock(inf.Clock.Now)
 
 	inf.CrimeTab, err = hbase.NewTable("crimes", []string{"meta", "persons"}, hbase.DefaultConfig(), inf.HDFS)
 	if err != nil {
@@ -274,7 +301,8 @@ func (inf *Infrastructure) Inventory() []LayerInventory {
 			fmt.Sprintf("hdfs: %d datanodes, replication %d", hdfsStatus.LiveNodes, inf.HDFS.Config().Replication),
 			fmt.Sprintf("yarn: %d cores, %d MB", total.Cores, total.MemMB),
 			fmt.Sprintf("dataproc: %d-way parallel engine", inf.cfg.Parallelism),
-			fmt.Sprintf("stream broker: topics %v", inf.Broker.Topics()),
+			fmt.Sprintf("stream broker: %d nodes, replication %d, topics %v",
+				inf.Broker.NodeCount(), inf.HDFS.Config().Replication, inf.Broker.Topics()),
 			"hbase: crimes, video_annotations",
 			fmt.Sprintf("docstore: collections %v", inf.DocDB.Collections()),
 		}},

@@ -128,6 +128,11 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveD
 		for _, rec := range recs {
 			inf.serveFrame(rec.Headers, rec.Key, rec.Value, root, rootCtx, archiveDir, &stats)
 		}
+		// Every record in the batch was served (or quarantined); advance the
+		// inference group's offsets so only a crash mid-batch can redeliver.
+		if cerr := inf.Bus.CommitPolled(inferenceGroup, "frames"); cerr != nil {
+			return stats, traceID, offload, fmt.Errorf("commit frames: %w", cerr)
+		}
 	}
 	return stats, traceID, offload, nil
 }

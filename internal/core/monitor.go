@@ -43,6 +43,11 @@ func DefaultAlertRules() []tsdb.Rule {
 			Expr:   "cityinfra_pipeline_ingest_seconds_p99",
 			ZScore: 4, WarmupTicks: 8, ForTicks: 1,
 		},
+		{
+			Name: "broker-under-replicated", Severity: telemetry.LevelWarn,
+			Expr: "cityinfra_broker_under_replicated_partitions",
+			Op:   tsdb.CmpGT, Threshold: 0,
+		},
 	}
 }
 
@@ -74,12 +79,14 @@ func (inf *Infrastructure) wireMonitor() error {
 }
 
 // MonitorTick runs one deterministic monitoring cycle: advance the
-// simulated clock by ScrapeInterval, scrape the registry into the
-// time-series store, and evaluate every alert rule against the new
-// history. Experiments and the -watch dashboard call it once per frame;
-// nothing in it sleeps.
+// simulated clock by ScrapeInterval, run the broker cluster's controller
+// pass (leader elections, follower catch-up — so failover latency is
+// measured in these same ticks), scrape the registry into the time-series
+// store, and evaluate every alert rule against the new history. Experiments
+// and the -watch dashboard call it once per frame; nothing in it sleeps.
 func (inf *Infrastructure) MonitorTick() {
 	inf.Clock.Advance(inf.ScrapeInterval)
+	inf.Broker.Tick()
 	inf.TSDB.Scrape()
 	inf.Alerts.Eval()
 }

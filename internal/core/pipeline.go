@@ -146,6 +146,12 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 			}
 			stats.Stored++
 		}
+		// The batch is fully handled (stored or quarantined), so advance the
+		// group's committed offsets; a consumer crash before this line would
+		// redeliver the batch instead of losing it.
+		if err := inf.Bus.CommitPolled(storageGroup, "tweets"); err != nil {
+			return stats, fmt.Errorf("commit tweets: %w", err)
+		}
 	}
 	return stats, nil
 }
@@ -261,6 +267,9 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 				continue
 			}
 			stats.Stored++
+		}
+		if err := inf.Bus.CommitPolled(storageGroup, "waze"); err != nil {
+			return stats, fmt.Errorf("commit waze: %w", err)
 		}
 	}
 	return stats, nil
@@ -418,6 +427,9 @@ func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, e
 				continue
 			}
 			stats.Stored++
+		}
+		if err := inf.Bus.CommitPolled(storageGroup, "calls911"); err != nil {
+			return stats, fmt.Errorf("commit 911: %w", err)
 		}
 	}
 	return stats, nil

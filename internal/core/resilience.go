@@ -18,17 +18,19 @@ func (inf *Infrastructure) EnableChaos(inj *faults.Injector) {
 	// Metering wraps the flaky bus, not the other way round, so injected
 	// faults show up in the produce/poll error counters like real ones.
 	inf.Bus = stream.NewMeteredBus(faults.NewFlakyBus(inf.Broker, inj), inf.busMetrics, nil)
+	inf.Broker.SetFaultHook(inj.ClusterHook())
 	inf.HDFS.SetFaultHook(inj.HDFSHook())
 	inf.CrimeTab.SetFaultHook(inj.HBaseHook())
 	inf.VideoTab.SetFaultHook(inj.HBaseHook())
 	inf.storeFault = inj.StoreHook()
-	inf.Events.Log(telemetry.LevelWarn, "chaos", "", "fault injection enabled on broker, HDFS, HBase, and docstore seams")
+	inf.Events.Log(telemetry.LevelWarn, "chaos", "", "fault injection enabled on broker, replication, HDFS, HBase, and docstore seams")
 }
 
 // DisableChaos detaches the injector and restores direct seams.
 func (inf *Infrastructure) DisableChaos() {
 	inf.Injector = nil
 	inf.Bus = stream.NewMeteredBus(inf.Broker, inf.busMetrics, nil)
+	inf.Broker.SetFaultHook(nil)
 	inf.HDFS.SetFaultHook(nil)
 	inf.CrimeTab.SetFaultHook(nil)
 	inf.VideoTab.SetFaultHook(nil)

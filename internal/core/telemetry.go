@@ -35,6 +35,38 @@ func (inf *Infrastructure) wireTelemetry() {
 	inf.pipeDeadLettered = r.Counter("cityinfra_pipeline_deadlettered_total", "records quarantined for replay")
 	inf.pipeRetries = r.Counter("cityinfra_pipeline_retries_total", "delivery attempts beyond the first")
 
+	// Replicated broker cluster: ISR/election health read at scrape time,
+	// plus a failover-latency histogram fed by the cluster observer below.
+	// The under-replicated gauge is the canonical replication health signal
+	// the default alert rules watch.
+	r.GaugeFunc("cityinfra_broker_nodes_up", "broker nodes currently alive",
+		func() float64 { return float64(inf.Broker.NodesUp()) })
+	r.GaugeFunc("cityinfra_broker_under_replicated_partitions", "partitions whose ISR is below the replication factor",
+		func() float64 { return float64(inf.Broker.UnderReplicated()) })
+	r.GaugeFunc("cityinfra_broker_leaderless_partitions", "partitions currently without a live leader",
+		func() float64 { return float64(inf.Broker.Leaderless()) })
+	clusterStat := func(get func(stream.ClusterStats) int) func() float64 {
+		return func() float64 { return float64(get(inf.Broker.Stats())) }
+	}
+	r.CounterFunc("cityinfra_broker_elections_total", "partition leader elections",
+		clusterStat(func(s stream.ClusterStats) int { return s.Elections }))
+	r.CounterFunc("cityinfra_broker_unclean_elections_total", "elections that picked a non-ISR replica",
+		clusterStat(func(s stream.ClusterStats) int { return s.UncleanElections }))
+	r.CounterFunc("cityinfra_broker_isr_shrinks_total", "followers dropped from an ISR",
+		clusterStat(func(s stream.ClusterStats) int { return s.ISRShrinks }))
+	r.CounterFunc("cityinfra_broker_isr_expands_total", "followers that caught up and rejoined an ISR",
+		clusterStat(func(s stream.ClusterStats) int { return s.ISRExpands }))
+	r.CounterFunc("cityinfra_broker_node_crashes_total", "broker node crashes",
+		clusterStat(func(s stream.ClusterStats) int { return s.Crashes }))
+	r.CounterFunc("cityinfra_broker_catchup_records_total", "records replicated to lagging followers",
+		clusterStat(func(s stream.ClusterStats) int { return s.CatchUpRecords }))
+	r.CounterFunc("cityinfra_broker_unavailable_errors_total", "produces rejected for want of a leader or ISR quorum",
+		clusterStat(func(s stream.ClusterStats) int { return s.UnavailableErrors }))
+	r.CounterFunc("cityinfra_broker_stale_produces_total", "produces fenced by a stale leader epoch",
+		clusterStat(func(s stream.ClusterStats) int { return s.StaleProduces }))
+	inf.failoverSeconds = r.Histogram("cityinfra_broker_failover_seconds",
+		"leadership-loss to re-election latency on the simulated clock", nil)
+
 	// Retry policy: scrape-time reads of the policy's own counters.
 	retryStat := func(get func(retry.Stats) int) func() float64 {
 		return func() float64 { return float64(get(inf.Retry.Stats())) }
@@ -140,6 +172,45 @@ func (inf *Infrastructure) wireTelemetry() {
 			inf.Events.Log(telemetry.LevelInfo, "hbase/"+tab.Name(), "", "%s: %s", event, detail)
 		})
 	}
+	// Broker cluster transitions: crashes, leadership changes, and ISR churn
+	// land in the event log, and every election observes its failover latency
+	// (ticks since leadership loss, scaled by the scrape interval) into the
+	// histogram above. The observer runs under the cluster lock, so it only
+	// records — it never calls back into the broker.
+	inf.Broker.SetObserver(func(ev stream.ClusterEvent) {
+		part := fmt.Sprintf("%s/%d", ev.Topic, ev.Partition)
+		switch ev.Kind {
+		case "node-crash":
+			inf.Events.Log(telemetry.LevelWarn, "broker", "", "node %d crashed", ev.Node)
+		case "node-restart":
+			inf.Events.Log(telemetry.LevelInfo, "broker", "", "node %d restarted", ev.Node)
+		case "leader-lost":
+			inf.Events.Log(telemetry.LevelWarn, "broker", "",
+				"%s lost leader (node %d, epoch %d)", part, ev.Node, ev.Epoch)
+		case "leader-elected":
+			interval := inf.ScrapeInterval
+			if interval == 0 {
+				interval = defaultScrapeInterval
+			}
+			inf.failoverSeconds.Observe((time.Duration(ev.FailoverTicks) * interval).Seconds())
+			level, mode := telemetry.LevelInfo, "clean"
+			if ev.Unclean {
+				level, mode = telemetry.LevelWarn, "unclean"
+			}
+			inf.Events.Log(level, "broker", "",
+				"%s elected node %d (%s, epoch %d, %d ticks leaderless)",
+				part, ev.Node, mode, ev.Epoch, ev.FailoverTicks)
+		case "isr-shrink":
+			inf.Events.Log(telemetry.LevelWarn, "broker", "",
+				"%s dropped node %d from ISR: %s", part, ev.Node, ev.Detail)
+		case "isr-expand":
+			inf.Events.Log(telemetry.LevelInfo, "broker", "",
+				"%s node %d caught up, rejoined ISR", part, ev.Node)
+		case "truncate":
+			inf.Events.Log(telemetry.LevelWarn, "broker", "",
+				"%s node %d truncated: %s", part, ev.Node, ev.Detail)
+		}
+	})
 
 	// SLOs over the cumulative pipeline counters: delivery (every collected
 	// event either lands in a store or is at least quarantined for replay)

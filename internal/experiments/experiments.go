@@ -68,6 +68,7 @@ var registry = []registration{
 	{"E19", "telemetry — per-tier latency attribution across offload thresholds", E19LatencyAttribution},
 	{"E20", "observability — traced chaos sweep: propagation, exemplars, SLO burn", E20TracedChaosSweep},
 	{"E21", "observability — metrics TSDB, windowed queries, alert lifecycle", E21MetricsMonitor},
+	{"E22", "robustness — replicated broker: leader kill, ISR election, zero acked loss", E22ClusterFailover},
 }
 
 // IDs lists experiment ids in order.

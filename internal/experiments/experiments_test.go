@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("registry has %d experiments, want 21 (E1..E21)", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("registry has %d experiments, want 22 (E1..E22)", len(ids))
 	}
 	titles := Titles()
 	for _, id := range ids {
@@ -170,6 +170,24 @@ func TestE21(t *testing.T) {
 	for _, phase := range []string{"baseline", "chaos", "recovery", "firing", "resolve"} {
 		if !strings.Contains(out, phase) {
 			t.Fatalf("E21 output missing %q:\n%s", phase, out)
+		}
+	}
+}
+
+func TestE22(t *testing.T) {
+	res := runAndCheck(t, "E22")
+	// The runner enforces the hard claims internally: election within the
+	// 3-tick budget, stale-epoch fencing, the under-replicated alert firing
+	// and resolving, and the exactly-once full-log audit. Check the timeline
+	// walks every failover phase and the fencing probes are all present.
+	out := res.String()
+	for _, want := range []string{
+		"kill leader", "re-elected", "node down", "restart", "catch-up",
+		"rejected: no leader", "rejected: stale epoch", "accepted",
+		"duplicates / losses", "firing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E22 output missing %q:\n%s", want, out)
 		}
 	}
 }

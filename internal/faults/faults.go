@@ -95,6 +95,12 @@ func NewInjector(cfg Config) *Injector {
 func (in *Injector) Decide(op string) Fault {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	return in.decideLocked(op, in.rng)
+}
+
+// decideLocked is Decide's body, parameterized over the random stream so op
+// families can draw from independent sequences. Callers hold in.mu.
+func (in *Injector) decideLocked(op string, rng *rand.Rand) Fault {
 	st, ok := in.stats[op]
 	if !ok {
 		st = &OpStats{}
@@ -116,14 +122,14 @@ func (in *Injector) Decide(op string) Fault {
 		st.Errors++
 		return Fault{Err: fmt.Errorf("%w: burst failure on %s (call %d)", ErrInjected, op, st.Calls)}
 	}
-	if in.cfg.ErrorRate > 0 && in.rng.Float64() < in.cfg.ErrorRate {
+	if in.cfg.ErrorRate > 0 && rng.Float64() < in.cfg.ErrorRate {
 		in.burstLeft[op] = in.cfg.BurstLen - 1
 		st.Errors++
 		return Fault{Err: fmt.Errorf("%w: failure on %s (call %d)", ErrInjected, op, st.Calls)}
 	}
 	var f Fault
-	if in.cfg.LatencyRate > 0 && in.rng.Float64() < in.cfg.LatencyRate {
-		f.LatencyMs = in.cfg.LatencySpikeMs * (0.5 + in.rng.Float64())
+	if in.cfg.LatencyRate > 0 && rng.Float64() < in.cfg.LatencyRate {
+		f.LatencyMs = in.cfg.LatencySpikeMs * (0.5 + rng.Float64())
 		st.LatencySpikes++
 		st.LatencyMs += f.LatencyMs
 	}
@@ -223,6 +229,126 @@ func (b *FlakyBus) Poll(group, topic string, max int) ([]stream.Record, error) {
 		return nil, f.Err
 	}
 	return b.inner.Poll(group, topic, max)
+}
+
+// CommitPolled forwards without injecting: an offset commit is local group
+// metadata, and failing it after the batch was processed would only create
+// duplicates the dedup layer already absorbs — the interesting chaos lives
+// on produce, poll, and replication.
+func (b *FlakyBus) CommitPolled(group, topic string) error {
+	return b.inner.CommitPolled(group, topic)
+}
+
+// ClusterHook adapts the injector to stream.Cluster.SetFaultHook: one
+// decision per follower per replication round, charged to "cluster.<op>"
+// ("cluster.replicate" for leader fan-out during produce — a failure drops
+// the follower from the ISR — and "cluster.catchup" for follower fetches
+// during Tick, a failure delaying rejoin by a tick). This is the
+// replication-lag seam E22 leans on.
+//
+// Cluster ops draw from their own seeded stream: replication fan-out makes
+// a hook decision per follower per produce, and letting those draws consume
+// the shared sequence would reshuffle the fault schedule every pre-existing
+// op sees under the same seed.
+func (in *Injector) ClusterHook() func(op string, node int) error {
+	rng := rand.New(rand.NewSource(in.cfg.Seed ^ 0x636c7573746572)) // "cluster"
+	return func(op string, node int) error {
+		in.mu.Lock()
+		f := in.decideLocked("cluster."+op, rng)
+		in.mu.Unlock()
+		if f.Err != nil {
+			return fmt.Errorf("broker node %d: %w", node, f.Err)
+		}
+		return nil
+	}
+}
+
+// CrashTarget is the node-lifecycle surface ClusterChaos drives. The
+// replicated stream.Cluster satisfies it; the type is declared here so
+// faults does not grow a dependency cycle with stream.
+type CrashTarget interface {
+	NodeCount() int
+	NodeUp(id int) bool
+	CrashNode(id int) error
+	RestartNode(id int) error
+}
+
+// ClusterChaos schedules deterministic broker-node crashes and restarts on
+// the simulated tick clock: each Tick it may crash one random live node
+// (seeded), and every crashed node restarts after DownTicks ticks. MaxDown
+// caps simultaneous dead nodes so a quorum of replicas always survives
+// unless the caller asks for worse.
+type ClusterChaos struct {
+	mu        sync.Mutex
+	target    CrashTarget
+	rng       *rand.Rand
+	crashRate float64
+	downTicks int
+	maxDown   int
+	downFor   map[int]int
+	crashes   int
+	restarts  int
+}
+
+// NewClusterChaos builds a crash scheduler; crashRate is the per-tick
+// probability of one crash, downTicks how long a node stays dead, maxDown
+// the cap on simultaneously dead nodes (<=0 means 1).
+func NewClusterChaos(target CrashTarget, seed int64, crashRate float64, downTicks, maxDown int) *ClusterChaos {
+	if downTicks < 1 {
+		downTicks = 1
+	}
+	if maxDown <= 0 {
+		maxDown = 1
+	}
+	return &ClusterChaos{
+		target:    target,
+		rng:       rand.New(rand.NewSource(seed)),
+		crashRate: crashRate,
+		downTicks: downTicks,
+		maxDown:   maxDown,
+		downFor:   make(map[int]int),
+	}
+}
+
+// Tick advances the schedule one tick: due nodes restart, then at most one
+// new crash may start.
+func (c *ClusterChaos) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, left := range c.downFor {
+		if left <= 1 {
+			delete(c.downFor, id)
+			if err := c.target.RestartNode(id); err == nil {
+				c.restarts++
+			}
+		} else {
+			c.downFor[id] = left - 1
+		}
+	}
+	if len(c.downFor) >= c.maxDown || c.crashRate <= 0 || c.rng.Float64() >= c.crashRate {
+		return
+	}
+	var up []int
+	for id := 0; id < c.target.NodeCount(); id++ {
+		if c.target.NodeUp(id) {
+			up = append(up, id)
+		}
+	}
+	if len(up) == 0 {
+		return
+	}
+	victim := up[c.rng.Intn(len(up))]
+	if err := c.target.CrashNode(victim); err == nil {
+		c.downFor[victim] = c.downTicks
+		c.crashes++
+	}
+}
+
+// Counts reports how many crashes and restarts the scheduler has driven.
+func (c *ClusterChaos) Counts() (crashes, restarts int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashes, c.restarts
 }
 
 // HDFSHook adapts the injector to hdfs.Cluster.SetFaultHook: one decision

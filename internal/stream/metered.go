@@ -92,3 +92,9 @@ func (b *MeteredBus) Poll(groupName, topicName string, max int) ([]Record, error
 	b.m.PolledRecords.Add(len(recs))
 	return recs, nil
 }
+
+// CommitPolled forwards to the underlying bus. Commits are local offset
+// metadata updates, not broker round trips, so they are not timed.
+func (b *MeteredBus) CommitPolled(groupName, topicName string) error {
+	return b.next.CommitPolled(groupName, topicName)
+}

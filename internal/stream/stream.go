@@ -37,6 +37,12 @@ type Bus interface {
 	// broker hop to whoever polls the record.
 	ProduceH(topicName, key string, value []byte, headers map[string]string) (partitionID int, offset int64, err error)
 	Poll(groupName, topicName string, max int) ([]Record, error)
+	// CommitPolled advances the group's committed offsets over what the
+	// last Poll for this topic returned. On the replicated Cluster this
+	// completes the poll-then-commit (at-least-once) flow; the legacy
+	// single-node Broker commits inside Poll, so there it is a validated
+	// no-op kept for interface compatibility.
+	CommitPolled(groupName, topicName string) error
 }
 
 // Record is one message in a partition log.
@@ -60,6 +66,8 @@ type partition struct {
 type topic struct {
 	name       string
 	partitions []*partition
+	// rr cycles empty-key records across partitions (see Produce).
+	rr uint64
 }
 
 type groupState struct {
@@ -140,8 +148,11 @@ func partitionFor(key string, n int) int {
 	return int(h.Sum32() % uint32(n))
 }
 
-// Produce appends a record, routing by key hash (or round-robin via empty
-// key to partition 0..n cycling is not provided; empty keys hash together).
+// Produce appends a record, routing non-empty keys by hash so per-key order
+// is preserved within a partition. Empty keys are routed round-robin across
+// partitions — they used to hash together onto a single partition, hot-
+// spotting it — which means empty-key records carry no relative ordering
+// guarantee at all; callers that need ordering must key their records.
 // It returns the assigned partition and offset.
 func (b *Broker) Produce(topicName, key string, value []byte) (partitionID int, offset int64, err error) {
 	return b.ProduceH(topicName, key, value, nil)
@@ -156,7 +167,13 @@ func (b *Broker) ProduceH(topicName, key string, value []byte, headers map[strin
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: %s", ErrUnknownTopic, topicName)
 	}
-	p := partitionFor(key, len(t.partitions))
+	var p int
+	if key == "" {
+		p = int(t.rr % uint64(len(t.partitions)))
+		t.rr++
+	} else {
+		p = partitionFor(key, len(t.partitions))
+	}
 	part := t.partitions[p]
 	off := int64(len(part.records))
 	v := make([]byte, len(value))
@@ -300,6 +317,19 @@ func (b *Broker) Poll(groupName, topicName string, max int) ([]Record, error) {
 		}
 	}
 	return out, nil
+}
+
+// CommitPolled satisfies Bus. The single-node Broker commits inside Poll
+// (at-most-once), so there is nothing left to commit here; the call only
+// validates the topic. The replicated Cluster implements the real
+// poll-then-commit flow.
+func (b *Broker) CommitPolled(groupName, topicName string) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if _, ok := b.topics[topicName]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTopic, topicName)
+	}
+	return nil
 }
 
 // Lag returns the total number of records a group has not yet consumed

@@ -50,6 +50,7 @@ func NewServer(inf *core.Infrastructure) *Server {
 	s.mux.HandleFunc("GET /api/query", s.handleQuery)
 	s.mux.HandleFunc("GET /api/series", s.handleSeries)
 	s.mux.HandleFunc("GET /api/alerting", s.handleAlerting)
+	s.mux.HandleFunc("GET /api/cluster", s.handleCluster)
 	s.registerRuntimeMetrics()
 	return s
 }
@@ -130,6 +131,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"hdfsLiveNodes":   st.LiveNodes,
 		"hdfsLostBlocks":  st.LostBlocks,
 		"brokerTopics":    s.inf.Broker.Topics(),
+		"brokerNodesUp":   s.inf.Broker.NodesUp(),
+		"brokerUnderRepl": s.inf.Broker.UnderReplicated(),
 		"camerasDeployed": len(s.inf.Cameras),
 	})
 }
@@ -189,6 +192,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	evs := s.inf.Events.Events(limit)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count": len(evs), "total": s.inf.Events.Total(), "events": evs,
+	})
+}
+
+// handleCluster serves the replicated broker's full state: node liveness,
+// per-partition leadership/epoch/ISR/high-watermark, and the election and
+// replication counters — the operator's view of whether the streaming spine
+// can lose a node right now without losing data.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	st := s.inf.Broker.State()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":           st.Nodes,
+		"partitions":      st.Partitions,
+		"underReplicated": st.UnderReplicated,
+		"leaderless":      st.Leaderless,
+		"stats":           st.Stats,
 	})
 }
 

@@ -223,3 +223,51 @@ func TestTraceEndpoints(t *testing.T) {
 
 	getJSON(t, srv.URL+"/api/trace/nope", http.StatusNotFound)
 }
+
+func TestClusterEndpoint(t *testing.T) {
+	srv, inf := newTestServer(t)
+	out := getJSON(t, srv.URL+"/api/cluster", http.StatusOK)
+
+	nodes := out["nodes"].([]any)
+	if len(nodes) != inf.Broker.NodeCount() {
+		t.Fatalf("nodes = %d, want %d", len(nodes), inf.Broker.NodeCount())
+	}
+	for _, n := range nodes {
+		if !n.(map[string]any)["up"].(bool) {
+			t.Fatalf("healthy boot reports a down node: %v", n)
+		}
+	}
+	parts := out["partitions"].([]any)
+	if len(parts) == 0 {
+		t.Fatal("no partitions reported")
+	}
+	p0 := parts[0].(map[string]any)
+	if p0["leader"].(float64) < 0 || p0["epoch"].(float64) < 1 {
+		t.Fatalf("partition state = %v", p0)
+	}
+	if len(p0["isr"].([]any)) != len(p0["replicas"].([]any)) {
+		t.Fatalf("healthy boot is under-replicated: %v", p0)
+	}
+	if out["underReplicated"].(float64) != 0 || out["leaderless"].(float64) != 0 {
+		t.Fatalf("healthy boot degraded: %v", out)
+	}
+
+	// Crash a leader: the endpoint must show the leaderless partition, and
+	// after one monitor tick the re-election with a bumped epoch.
+	victim := int(p0["leader"].(float64))
+	if err := inf.Broker.CrashNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	out = getJSON(t, srv.URL+"/api/cluster", http.StatusOK)
+	if out["leaderless"].(float64) < 1 {
+		t.Fatalf("crash not visible: %v", out["leaderless"])
+	}
+	inf.MonitorTick()
+	out = getJSON(t, srv.URL+"/api/cluster", http.StatusOK)
+	if out["leaderless"].(float64) != 0 {
+		t.Fatalf("election did not complete in one tick: %v", out["leaderless"])
+	}
+	if out["stats"].(map[string]any)["Elections"].(float64) < 1 {
+		t.Fatalf("stats = %v", out["stats"])
+	}
+}
