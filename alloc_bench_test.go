@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Allocation budgets for the pipeline's hot paths. The profiler's per-region
+// allocs/op attribution (internal/profile) is only trustworthy if the paths
+// it watches don't quietly grow their own allocation rates, so these gates
+// pin ceilings: comfortably above today's measured allocs/op (so amortized
+// slice growth and GC jitter don't flake) but tight enough that an
+// accidental per-record marshal, map, or closure shows up as a test failure
+// rather than a slow throughput bleed.
+const (
+	produceAllocBudget     = 8  // measured 4 allocs/op at RF 3 (2 at RF 1)
+	pollCommitAllocBudget  = 4  // measured 1 alloc/op for poll(1)+commit
+	frameIngestAllocBudget = 96 // measured 47 allocs/frame through all 4 tiers
+)
+
+func allocCluster(tb testing.TB, rf int) *stream.Cluster {
+	tb.Helper()
+	c, err := stream.NewCluster(stream.ClusterConfig{Nodes: 3, Replication: rf})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.CreateTopic("bench", 4); err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+func TestProduceAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocs/op")
+	}
+	for _, rf := range []int{1, 3} {
+		c := allocCluster(t, rf)
+		payload := []byte("camera frame annotation record")
+		allocs := testing.AllocsPerRun(2000, func() {
+			if _, _, err := c.Produce("bench", "cam-7", payload); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("RF%d produce: %.1f allocs/op", rf, allocs)
+		if allocs > produceAllocBudget {
+			t.Errorf("RF%d produce allocates %.1f/op, budget %d", rf, allocs, produceAllocBudget)
+		}
+	}
+}
+
+func TestPollCommitAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocs/op")
+	}
+	c := allocCluster(t, 3)
+	payload := []byte("camera frame annotation record")
+	const backlog = 4000
+	for i := 0; i < backlog; i++ {
+		if _, _, err := c.Produce("bench", "cam-7", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := 0
+	allocs := testing.AllocsPerRun(backlog/2, func() {
+		recs, err := c.Poll("gate", "bench", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("run %d polled %d records", runs, len(recs))
+		}
+		runs++
+		if err := c.CommitPolled("gate", "bench"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("poll(1)+commit: %.1f allocs/op", allocs)
+	if allocs > pollCommitAllocBudget {
+		t.Errorf("poll+commit allocates %.1f/op, budget %d", allocs, pollCommitAllocBudget)
+	}
+}
+
+// allocFrame is the fixed frame the ingest gates replay: below-threshold
+// confidence, so every run crosses the full offload path (edge capture →
+// fog gate → broker → server inference → HBase annotation).
+var allocFrame = core.FrameEvent{
+	CameraID:     "cam-7",
+	Seq:          1,
+	Class:        "vehicle",
+	Confidence:   0.42,
+	RawBytes:     64 << 10,
+	FeatureBytes: 8 << 10,
+}
+
+func TestFrameIngestAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocs/op")
+	}
+	inf, err := core.New(core.DefaultConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []core.FrameEvent{allocFrame}
+	allocs := testing.AllocsPerRun(200, func() {
+		st, err := inf.IngestFrames(frames, 0.9, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Offloaded != 1 {
+			t.Fatalf("frame not offloaded: %+v", st)
+		}
+	})
+	t.Logf("frame ingest: %.1f allocs/frame", allocs)
+	if allocs > frameIngestAllocBudget {
+		t.Errorf("frame ingest allocates %.1f/frame, budget %d", allocs, frameIngestAllocBudget)
+	}
+}
+
+// BenchmarkFrameIngest is the throughput/allocation view of the same path
+// the gate above pins: one camera frame through all four tiers per op.
+func BenchmarkFrameIngest(b *testing.B) {
+	inf, err := core.New(core.DefaultConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := []core.FrameEvent{allocFrame}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inf.IngestFrames(frames, 0.9, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterPollCommit is the consumer-side hop benchCluster only
+// samples: poll one record then commit the group offset.
+func BenchmarkClusterPollCommit(b *testing.B) {
+	c := allocCluster(b, 3)
+	payload := []byte("camera frame annotation record")
+	for i := 0; i < b.N+1; i++ {
+		if _, _, err := c.Produce("bench", "cam-7", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recs, err := c.Poll("gate", "bench", 1); err != nil || len(recs) != 1 {
+			b.Fatalf("poll: %v (%d records)", err, len(recs))
+		}
+		if err := c.CommitPolled("gate", "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

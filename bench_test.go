@@ -206,14 +206,15 @@ func BenchmarkFogSimulation(b *testing.B) {
 	}
 }
 
-func BenchmarkE15_GeospatialCNN(b *testing.B)      { benchExperiment(b, "E15") }
-func BenchmarkE16_OpioidAnalytics(b *testing.B)    { benchExperiment(b, "E16") }
-func BenchmarkE17_GraphAnalytics(b *testing.B)     { benchExperiment(b, "E17") }
-func BenchmarkE18_ChaosPipeline(b *testing.B)      { benchExperiment(b, "E18") }
-func BenchmarkE19_LatencyAttribution(b *testing.B) { benchExperiment(b, "E19") }
-func BenchmarkE20_TracedChaosSweep(b *testing.B)   { benchExperiment(b, "E20") }
-func BenchmarkE21_MetricsMonitor(b *testing.B)     { benchExperiment(b, "E21") }
-func BenchmarkE22_ClusterFailover(b *testing.B)    { benchExperiment(b, "E22") }
+func BenchmarkE15_GeospatialCNN(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16_OpioidAnalytics(b *testing.B)     { benchExperiment(b, "E16") }
+func BenchmarkE17_GraphAnalytics(b *testing.B)      { benchExperiment(b, "E17") }
+func BenchmarkE18_ChaosPipeline(b *testing.B)       { benchExperiment(b, "E18") }
+func BenchmarkE19_LatencyAttribution(b *testing.B)  { benchExperiment(b, "E19") }
+func BenchmarkE20_TracedChaosSweep(b *testing.B)    { benchExperiment(b, "E20") }
+func BenchmarkE21_MetricsMonitor(b *testing.B)      { benchExperiment(b, "E21") }
+func BenchmarkE22_ClusterFailover(b *testing.B)     { benchExperiment(b, "E22") }
+func BenchmarkE23_ContinuousProfiling(b *testing.B) { benchExperiment(b, "E23") }
 
 // benchCluster measures the replicated produce path: RF 1 acks on the
 // leader's append alone, RF 3 acks only after the record lands on every
@@ -227,6 +228,7 @@ func benchCluster(b *testing.B, rf int) {
 		b.Fatal(err)
 	}
 	payload := []byte("camera frame annotation record")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.Produce("bench", fmt.Sprintf("k%d", i%16), payload); err != nil {

@@ -1,0 +1,162 @@
+// Command benchdiff compares two benchmark JSON files produced by
+// `go run ./cmd/experiments -bench-json ...` and gates on throughput
+// regressions: any benchmark whose ops/sec drops by more than the
+// threshold (default 10%) makes the command exit nonzero, so CI can wire
+// it in as a perf gate or — with continue-on-error — as an annotation.
+//
+//	go run ./cmd/benchdiff BENCH_PR6.json BENCH_PR7.json
+//	go run ./cmd/benchdiff -threshold 5 old.json new.json
+//
+// Running under GitHub Actions (GITHUB_ACTIONS set) additionally emits
+// ::warning:: workflow annotations for each regressed benchmark.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// benchFile mirrors the schema written by cmd/experiments -bench-json.
+// Commit and Label are absent from files written before they existed;
+// they decode to "".
+type benchFile struct {
+	Seed       int64        `json:"seed"`
+	Commit     string       `json:"commit"`
+	Label      string       `json:"label"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Experiment string  `json:"experiment"`
+	Iterations int     `json:"iterations"`
+	OpsPerSec  float64 `json:"opsPerSec"`
+	MeanMs     float64 `json:"meanMs"`
+	P99Ms      float64 `json:"p99Ms"`
+}
+
+func loadBench(path string) (benchFile, error) {
+	var bf benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Benchmarks) == 0 {
+		return bf, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return bf, nil
+}
+
+// describe names one side of the comparison: path plus whatever metadata
+// the file carries.
+func describe(path string, bf benchFile) string {
+	s := path
+	if bf.Label != "" {
+		s += " label=" + bf.Label
+	}
+	if bf.Commit != "" {
+		s += " commit=" + bf.Commit
+	}
+	return fmt.Sprintf("%s seed=%d", s, bf.Seed)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 10, "fail when any benchmark's ops/sec regresses by more than this percentage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-threshold pct] OLD.json NEW.json")
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	oldBF, err := loadBench(oldPath)
+	if err != nil {
+		return err
+	}
+	newBF, err := loadBench(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "old: %s\nnew: %s\n\n", describe(oldPath, oldBF), describe(newPath, newBF))
+
+	oldBy := map[string]benchEntry{}
+	for _, b := range oldBF.Benchmarks {
+		oldBy[b.Experiment] = b
+	}
+
+	t := viz.NewTable(fmt.Sprintf("benchdiff — ops/sec gate at -%.0f%%", *threshold),
+		"benchmark", "old ops/s", "new ops/s", "Δ ops/s", "old p99 ms", "new p99 ms", "verdict")
+	var regressed []string
+	seen := map[string]bool{}
+	for _, nb := range newBF.Benchmarks {
+		seen[nb.Experiment] = true
+		ob, ok := oldBy[nb.Experiment]
+		if !ok {
+			t.AddRow(nb.Experiment, "-", fmt.Sprintf("%.1f", nb.OpsPerSec), "-", "-",
+				fmt.Sprintf("%.3f", nb.P99Ms), "added")
+			continue
+		}
+		deltaPct := (nb.OpsPerSec - ob.OpsPerSec) / ob.OpsPerSec * 100
+		verdict := "ok"
+		if deltaPct < -*threshold {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s: %.1f%% slower (%.1f -> %.1f ops/s)",
+				nb.Experiment, -deltaPct, ob.OpsPerSec, nb.OpsPerSec))
+		}
+		t.AddRow(nb.Experiment,
+			fmt.Sprintf("%.1f", ob.OpsPerSec), fmt.Sprintf("%.1f", nb.OpsPerSec),
+			fmt.Sprintf("%+.1f%%", deltaPct),
+			fmt.Sprintf("%.3f", ob.P99Ms), fmt.Sprintf("%.3f", nb.P99Ms), verdict)
+	}
+	var removed []string
+	for name := range oldBy {
+		if !seen[name] {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		ob := oldBy[name]
+		t.AddRow(name, fmt.Sprintf("%.1f", ob.OpsPerSec), "-", "-",
+			fmt.Sprintf("%.3f", ob.P99Ms), "-", "removed")
+	}
+	fmt.Fprintln(out, t)
+
+	if len(regressed) == 0 {
+		fmt.Fprintf(out, "all %d shared benchmarks within the %.0f%% budget\n", len(seen)-countAdded(newBF, oldBy), *threshold)
+		return nil
+	}
+	for _, r := range regressed {
+		fmt.Fprintln(out, "regression:", r)
+		if os.Getenv("GITHUB_ACTIONS") != "" {
+			fmt.Fprintf(out, "::warning title=benchdiff regression::%s\n", r)
+		}
+	}
+	return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", len(regressed), *threshold)
+}
+
+func countAdded(newBF benchFile, oldBy map[string]benchEntry) int {
+	n := 0
+	for _, b := range newBF.Benchmarks {
+		if _, ok := oldBy[b.Experiment]; !ok {
+			n++
+		}
+	}
+	return n
+}

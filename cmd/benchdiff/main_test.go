@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldJSON = `{
+  "seed": 42, "commit": "abc1234", "label": "PR6",
+  "benchmarks": [
+    {"experiment": "E18", "iterations": 20, "opsPerSec": 100, "meanMs": 10, "p99Ms": 20},
+    {"experiment": "E19", "iterations": 20, "opsPerSec": 200, "meanMs": 5, "p99Ms": 9},
+    {"experiment": "Gone", "iterations": 20, "opsPerSec": 50, "meanMs": 20, "p99Ms": 40}
+  ]
+}`
+
+func TestDiffWithinBudgetPasses(t *testing.T) {
+	newJSON := `{
+	  "seed": 42, "label": "PR7",
+	  "benchmarks": [
+	    {"experiment": "E18", "iterations": 20, "opsPerSec": 95, "meanMs": 10.5, "p99Ms": 21},
+	    {"experiment": "E19", "iterations": 20, "opsPerSec": 240, "meanMs": 4, "p99Ms": 8},
+	    {"experiment": "E23", "iterations": 20, "opsPerSec": 30, "meanMs": 33, "p99Ms": 60}
+	  ]
+	}`
+	var out strings.Builder
+	err := run([]string{writeBench(t, "old.json", oldJSON), writeBench(t, "new.json", newJSON)}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"label=PR6", "commit=abc1234", "label=PR7",
+		"-5.0%", "+20.0%", "added", "removed", "within the 10% budget"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "REGRESSED") {
+		t.Fatalf("unexpected regression verdict:\n%s", got)
+	}
+}
+
+func TestDiffRegressionFails(t *testing.T) {
+	newJSON := `{
+	  "seed": 42,
+	  "benchmarks": [
+	    {"experiment": "E18", "iterations": 20, "opsPerSec": 80, "meanMs": 12.5, "p99Ms": 25},
+	    {"experiment": "E19", "iterations": 20, "opsPerSec": 200, "meanMs": 5, "p99Ms": 9}
+	  ]
+	}`
+	var out strings.Builder
+	err := run([]string{writeBench(t, "old.json", oldJSON), writeBench(t, "new.json", newJSON)}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1 benchmark(s) regressed") {
+		t.Fatalf("err = %v, want regression failure\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "REGRESSED") || !strings.Contains(got, "E18: 20.0% slower") {
+		t.Fatalf("output missing regression detail:\n%s", got)
+	}
+	// A looser threshold must let the same pair pass.
+	out.Reset()
+	if err := run([]string{"-threshold", "25",
+		writeBench(t, "old2.json", oldJSON), writeBench(t, "new2.json", newJSON)}, &out); err != nil {
+		t.Fatalf("threshold 25 should pass: %v", err)
+	}
+}
+
+func TestDiffBadInputs(t *testing.T) {
+	if err := run([]string{"only-one.json"}, &strings.Builder{}); err == nil {
+		t.Fatal("want usage error for one arg")
+	}
+	empty := writeBench(t, "empty.json", `{"seed": 1, "benchmarks": []}`)
+	ok := writeBench(t, "ok.json", oldJSON)
+	if err := run([]string{empty, ok}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "no benchmarks") {
+		t.Fatalf("err = %v, want no-benchmarks error", err)
+	}
+	if err := run([]string{ok, filepath.Join(t.TempDir(), "missing.json")}, &strings.Builder{}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

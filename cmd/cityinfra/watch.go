@@ -106,6 +106,17 @@ func renderWatch(inf *core.Infrastructure, w io.Writer, frame int, clear bool) {
 	fmt.Fprintf(w, "  replication      under-replicated %d, leaderless %d, elections %d (unclean %d), last failover %d ticks\n",
 		cst.UnderReplicated, cst.Leaderless, cst.Stats.Elections, cst.Stats.UncleanElections, cst.Stats.LastFailoverTicks)
 
+	// Hot-regions pane: where the last profiling window's self time went.
+	// Shares are of the window's total self time, so a CPU burn injected in
+	// one component visibly crowds out every other row.
+	if hot := inf.Profiler.HotRegions(5); len(hot) > 0 {
+		fmt.Fprintf(w, "\n  hot regions (last window)\n")
+		for _, h := range hot {
+			fmt.Fprintf(w, "    %-28s %8.2f ms self  %8.2f ms cum  %5.1f%%\n",
+				h.Region, h.SelfSeconds*1e3, h.CumSeconds*1e3, h.Share*100)
+		}
+	}
+
 	slo := viz.NewTable("SLO burn", "objective", "error rate", "burn rate")
 	for _, rep := range inf.SLOs.Reports() {
 		slo.AddRow(rep.Name, rep.ErrorRate, rep.BurnRate)

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -34,11 +36,12 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "random seed shared by all experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	benchJSON := fs.String("bench-json", "", "benchmark the E18..E22 hot paths plus the monitoring and broker micro paths and write ops/sec + p99 JSON to this file")
+	benchLabel := fs.String("bench-label", "", "free-form label (e.g. PR7) embedded in the -bench-json output so benchdiff can name what it compares")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchJSON != "" {
-		return writeBenchJSON(*benchJSON, *seed)
+		return writeBenchJSON(*benchJSON, *seed, *benchLabel)
 	}
 	if *list {
 		titles := experiments.Titles()
@@ -135,7 +138,17 @@ func benchClusterFixture(rf int) (*stream.Cluster, error) {
 // loop), and E22 (replicated-broker failover) — plus the monitoring and
 // broker micro paths a deployment pays on every scrape tick and produce,
 // and records throughput plus tail latency.
-func writeBenchJSON(path string, seed int64) error {
+// gitCommit returns the short hash of HEAD, or "" when git (or the repo)
+// is unavailable — bench JSON stays writable from an exported tarball.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func writeBenchJSON(path string, seed int64, label string) error {
 	const iters = 20
 	var results []benchResult
 	for _, id := range []string{"E18", "E19", "E20", "E21", "E22"} {
@@ -224,7 +237,12 @@ func writeBenchJSON(path string, seed int64) error {
 	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{"seed": seed, "benchmarks": results}); err != nil {
+	if err := enc.Encode(map[string]any{
+		"seed":       seed,
+		"commit":     gitCommit(),
+		"label":      label,
+		"benchmarks": results,
+	}); err != nil {
 		return err
 	}
 	for _, r := range results {

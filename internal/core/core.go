@@ -24,6 +24,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/hbase"
 	"repro/internal/hdfs"
+	"repro/internal/profile"
 	"repro/internal/retry"
 	"repro/internal/socialgraph"
 	"repro/internal/stream"
@@ -129,6 +130,13 @@ type Infrastructure struct {
 	TSDB           *tsdb.Store
 	Alerts         *tsdb.Engine
 	ScrapeInterval time.Duration
+
+	// Profiling layer: the always-on continuous profiler every tier reports
+	// into. MonitorTick closes one attribution window per tick; /api/profile
+	// and the watch dashboard read its hot-region rankings.
+	Profiler *profile.Profiler
+	profIngest, profCollect, profStream, profStore,
+	profArchive, profGate, profInference *profile.Region
 
 	busMetrics      *stream.BusMetrics
 	flumeTel        *flume.AgentTelemetry
@@ -251,6 +259,9 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 	if err != nil {
 		return nil, fmt.Errorf("boot fog: %w", err)
 	}
+
+	// Profiling layer: needs every instrumented component above to exist.
+	inf.wireProfiler()
 
 	// Data layer.
 	inf.Cameras, err = citydata.CameraNetwork(cfg.Cameras, rng)

@@ -70,7 +70,9 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveD
 	root := inf.traceIngest("ingest-frame")
 	rootCtx := root.Context()
 	traceID = rootCtx.TraceID
+	pi := inf.profIngest.Start()
 	defer func() {
+		pi.End()
 		root.End()
 		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
@@ -78,7 +80,9 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveD
 	// Edge tier: frame capture plus the tiny exit-1 model.
 	spCapture := root.Child("capture")
 	spCapture.SetTier("edge")
+	pc := inf.profCollect.Start()
 	body, merr := json.Marshal(f)
+	pc.End()
 	spCapture.End()
 	if merr != nil {
 		return stats, traceID, false, fmt.Errorf("marshal frame: %w", merr)
@@ -89,21 +93,25 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveD
 	// context — onto the record headers that will cross the broker.
 	spGate := root.Child("early-exit-gate")
 	spGate.SetTier("fog")
+	pg := inf.profGate.Start()
 	offload = f.Confidence < threshold
 	headers := rootCtx.Inject(map[string]string{
 		"camera":  f.CameraID,
 		"seq":     strconv.Itoa(f.Seq),
 		"offload": strconv.FormatBool(offload),
 	})
+	pg.End()
 	spGate.End()
 
 	spProduce := root.Child("offload-produce")
 	spProduce.SetTier("fog")
+	pst := inf.profStream.Start()
 	cs, perr := inf.produceWithRetry("frames", f.CameraID, body, headers)
 	stats.Retries += cs.Retries
 	if perr != nil {
 		inf.deadLetter(&stats, "frames", "produce", f.CameraID, body, perr, rootCtx.TraceID)
 	}
+	pst.End()
 	spProduce.End()
 
 	// Server tier: drain the inference topic. Each record carries its own
@@ -111,6 +119,8 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveD
 	// frames, and poisoned chaos records each land in their own trace. A
 	// failed poll consumed nothing (the fault seam injects before the read),
 	// so it redrives like the archive writes do.
+	pinf := inf.profInference.Start()
+	defer pinf.End()
 	for {
 		recs, cs, perr := inf.pollWithRetry(inferenceGroup, "frames", 4)
 		stats.Retries += cs.Retries

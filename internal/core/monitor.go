@@ -48,6 +48,20 @@ func DefaultAlertRules() []tsdb.Rule {
 			Expr: "cityinfra_broker_under_replicated_partitions",
 			Op:   tsdb.CmpGT, Threshold: 0,
 		},
+		{
+			// A region-share shift: the hottest region's per-tick self time
+			// jumps far off its EWMA baseline AND past an absolute floor.
+			// AND semantics keep ordinary batch-size wobble (anomalous in
+			// sigma terms but milliseconds in absolute terms) from paging.
+			// No ForTicks hold-down: the EWMA adapts to a sustained step
+			// within one tick, so the transition itself is the only
+			// evaluation where the z-score can see it.
+			Name: "profile-hot-region-anomaly", Severity: telemetry.LevelWarn,
+			Expr:   "cityinfra_profile_hot_region_self_seconds",
+			ZScore: 4, WarmupTicks: 8,
+			Op: tsdb.CmpGT, Threshold: 0.05,
+			AndConditions: true,
+		},
 	}
 }
 
@@ -87,6 +101,9 @@ func (inf *Infrastructure) wireMonitor() error {
 func (inf *Infrastructure) MonitorTick() {
 	inf.Clock.Advance(inf.ScrapeInterval)
 	inf.Broker.Tick()
+	// Close the profiling window before the scrape so the
+	// cityinfra_profile_* gauges sample the window that just ended.
+	inf.Profiler.Tick()
 	inf.TSDB.Scrape()
 	inf.Alerts.Eval()
 }

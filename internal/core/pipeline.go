@@ -54,17 +54,21 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 	start := time.Now()
 	root := inf.traceIngest("ingest-tweets")
 	rootCtx := root.Context()
+	pi := inf.profIngest.Start()
 	defer func() {
+		pi.End()
 		root.End()
 		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
 
 	spCollect := root.Child("collect")
 	spCollect.SetTier("edge")
+	pc := inf.profCollect.Start()
 	events := make([]flume.Event, len(tweets))
 	for i, tw := range tweets {
 		body, err := json.Marshal(tw)
 		if err != nil {
+			pc.End()
 			spCollect.End()
 			return PipelineStats{}, fmt.Errorf("marshal tweet: %w", err)
 		}
@@ -76,10 +80,12 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 			Body:    body,
 		}
 	}
+	pc.End()
 	spCollect.End()
 
 	spStream := root.Child("stream")
 	spStream.SetTier("fog")
+	pst := inf.profStream.Start()
 	sink := flume.NewDedupSink(
 		func(e flume.Event) string { return e.Headers["id"] },
 		func(e flume.Event) error {
@@ -100,6 +106,7 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 	// absorb other pipelines' retries.
 	stats.Retries += agent.Metrics().Retries
 	stats.Retries += inf.redrive(dlq, sink, &stats, "tweets")
+	pst.End()
 	spStream.End()
 
 	// Storage tier: drain broker into docstore. The store span continues the
@@ -111,6 +118,8 @@ func (inf *Infrastructure) IngestTweets(tweets []citydata.Tweet) (PipelineStats,
 			spStore.End()
 		}
 	}()
+	ps := inf.profStore.Start()
+	defer ps.End()
 	col := inf.DocDB.Collection("tweets")
 	for {
 		recs, cs, err := inf.pollWithRetry(storageGroup, "tweets", 256)
@@ -203,17 +212,21 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 	start := time.Now()
 	root := inf.traceIngest("ingest-waze")
 	rootCtx := root.Context()
+	pi := inf.profIngest.Start()
 	defer func() {
+		pi.End()
 		root.End()
 		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
 
 	spStream := root.Child("stream")
 	spStream.SetTier("fog")
+	pst := inf.profStream.Start()
 	hdrs := rootCtx.Inject(nil)
 	for _, r := range reports {
 		body, err := json.Marshal(r)
 		if err != nil {
+			pst.End()
 			spStream.End()
 			return stats, fmt.Errorf("marshal waze: %w", err)
 		}
@@ -223,6 +236,7 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 			inf.deadLetter(&stats, "waze", "produce", r.ID, body, err, rootCtx.TraceID)
 		}
 	}
+	pst.End()
 	spStream.End()
 
 	var spStore *telemetry.Span
@@ -231,6 +245,8 @@ func (inf *Infrastructure) IngestWaze(reports []citydata.WazeReport) (PipelineSt
 			spStore.End()
 		}
 	}()
+	ps := inf.profStore.Start()
+	defer ps.End()
 	col := inf.DocDB.Collection("waze")
 	for {
 		recs, cs, err := inf.pollWithRetry(storageGroup, "waze", 256)
@@ -291,7 +307,9 @@ func (inf *Infrastructure) IngestCrimes(incidents []citydata.Incident, archivePa
 	start := time.Now()
 	root := inf.traceIngest("ingest-crimes")
 	rootCtx := root.Context()
+	pi := inf.profIngest.Start()
 	defer func() {
+		pi.End()
 		root.End()
 		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
@@ -308,6 +326,7 @@ func (inf *Infrastructure) IngestCrimes(incidents []citydata.Incident, archivePa
 	}
 	spStore := root.Child("store")
 	spStore.SetTier("server")
+	ps := inf.profStore.Start()
 incidents:
 	for _, inc := range incidents {
 		row := crimeRowKey(inc)
@@ -339,11 +358,14 @@ incidents:
 			stats.Stored++
 		}
 	}
+	ps.End()
 	spStore.End()
 	if archivePath != "" {
 		spArchive := root.Child("archive")
 		spArchive.SetTier("cloud")
 		defer spArchive.End()
+		pa := inf.profArchive.Start()
+		defer pa.End()
 		raw, err := json.Marshal(incidents)
 		if err != nil {
 			return stats, fmt.Errorf("marshal archive: %w", err)
@@ -365,17 +387,21 @@ func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, e
 	start := time.Now()
 	root := inf.traceIngest("ingest-911")
 	rootCtx := root.Context()
+	pi := inf.profIngest.Start()
 	defer func() {
+		pi.End()
 		root.End()
 		inf.recordPipeline(&stats, start, rootCtx.TraceID)
 	}()
 
 	spStream := root.Child("stream")
 	spStream.SetTier("fog")
+	pst := inf.profStream.Start()
 	hdrs := rootCtx.Inject(nil)
 	for _, c := range calls {
 		body, err := json.Marshal(c)
 		if err != nil {
+			pst.End()
 			spStream.End()
 			return stats, fmt.Errorf("marshal 911: %w", err)
 		}
@@ -385,6 +411,7 @@ func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, e
 			inf.deadLetter(&stats, "calls911", "produce", c.ID, body, err, rootCtx.TraceID)
 		}
 	}
+	pst.End()
 	spStream.End()
 
 	var spStore *telemetry.Span
@@ -393,6 +420,8 @@ func (inf *Infrastructure) Ingest911(calls []citydata.Call911) (PipelineStats, e
 			spStore.End()
 		}
 	}()
+	ps := inf.profStore.Start()
+	defer ps.End()
 	col := inf.DocDB.Collection("calls911")
 	for {
 		recs, cs, err := inf.pollWithRetry(storageGroup, "calls911", 256)

@@ -69,6 +69,7 @@ var registry = []registration{
 	{"E20", "observability — traced chaos sweep: propagation, exemplars, SLO burn", E20TracedChaosSweep},
 	{"E21", "observability — metrics TSDB, windowed queries, alert lifecycle", E21MetricsMonitor},
 	{"E22", "robustness — replicated broker: leader kill, ISR election, zero acked loss", E22ClusterFailover},
+	{"E23", "observability — continuous profiling: hot regions, overhead budget, burn localization", E23Profile},
 }
 
 // IDs lists experiment ids in order.

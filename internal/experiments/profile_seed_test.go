@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// TestE23SeedSweep runs E23 across the acceptance seed range. Each seed
+// re-measures the overhead arm, so the sweep is wall-clock heavy and skipped
+// in -short, and skipped under race because the <3% overhead budget is a
+// native-build property (race instrumentation inflates the profiler's
+// atomics far more than the surrounding pipeline).
+func TestE23SeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20-seed perf sweep skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("native-build perf budget does not apply under race")
+	}
+	for seed := int64(42); seed <= 61; seed++ {
+		if _, err := Run("E23", seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this build.
+// Perf-budget sweeps are skipped under race: instrumentation multiplies the
+// profiler's atomic costs, so the native-build overhead budget they assert
+// does not apply.
+const raceEnabled = true

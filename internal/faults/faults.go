@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/flume"
 	"repro/internal/stream"
@@ -47,12 +48,37 @@ type Config struct {
 	BlackoutEvery int
 	// BlackoutLen is the length of each blackout window in calls.
 	BlackoutLen int
+	// BurnOp names the single operation whose calls burn real CPU for
+	// BurnMs wall-clock milliseconds each ("" burns every op). Unlike
+	// LatencySpikeMs — bookkeeping on the simulated clock — a burn
+	// busy-spins the calling goroutine, so the continuous profiler sees the
+	// hot region exactly where the fault landed.
+	BurnOp string
+	// BurnMs is the wall-clock milliseconds each burned call spins (0
+	// disables burning).
+	BurnMs float64
 }
 
 // Fault is one injection decision.
 type Fault struct {
 	Err       error
 	LatencyMs float64
+	// BurnMs asks the caller to spin for that much wall-clock time via
+	// Burn(); the decision is made under the injector lock but the spin must
+	// happen outside it.
+	BurnMs float64
+}
+
+// Burn busy-spins the calling goroutine for BurnMs of wall-clock time. It
+// is a no-op for BurnMs <= 0, and must be called after the injector lock is
+// released so concurrent fault decisions don't serialize behind the spin.
+func (f Fault) Burn() {
+	if f.BurnMs <= 0 {
+		return
+	}
+	deadline := time.Now().Add(time.Duration(f.BurnMs * float64(time.Millisecond)))
+	for time.Now().Before(deadline) {
+	}
 }
 
 // OpStats counts injections for one named operation.
@@ -62,6 +88,8 @@ type OpStats struct {
 	Blackouts     int // errors attributable to blackout windows
 	LatencySpikes int
 	LatencyMs     float64
+	Burns         int
+	BurnMs        float64 // wall-clock CPU burned, not simulated latency
 }
 
 // Injector makes deterministic fault decisions. Safe for concurrent use.
@@ -108,6 +136,15 @@ func (in *Injector) decideLocked(op string, rng *rand.Rand) Fault {
 	}
 	st.Calls++
 
+	// A CPU burn rides along with whatever else is decided — the spin
+	// happens in the caller, after the lock is released.
+	var burn float64
+	if in.cfg.BurnMs > 0 && (in.cfg.BurnOp == "" || in.cfg.BurnOp == op) {
+		burn = in.cfg.BurnMs
+		st.Burns++
+		st.BurnMs += burn
+	}
+
 	if in.cfg.BlackoutEvery > 0 && st.Calls%in.cfg.BlackoutEvery == 0 {
 		in.blackoutLeft[op] = in.cfg.BlackoutLen
 	}
@@ -115,19 +152,19 @@ func (in *Injector) decideLocked(op string, rng *rand.Rand) Fault {
 		in.blackoutLeft[op]--
 		st.Errors++
 		st.Blackouts++
-		return Fault{Err: fmt.Errorf("%w: blackout window on %s (call %d)", ErrInjected, op, st.Calls)}
+		return Fault{Err: fmt.Errorf("%w: blackout window on %s (call %d)", ErrInjected, op, st.Calls), BurnMs: burn}
 	}
 	if in.burstLeft[op] > 0 {
 		in.burstLeft[op]--
 		st.Errors++
-		return Fault{Err: fmt.Errorf("%w: burst failure on %s (call %d)", ErrInjected, op, st.Calls)}
+		return Fault{Err: fmt.Errorf("%w: burst failure on %s (call %d)", ErrInjected, op, st.Calls), BurnMs: burn}
 	}
 	if in.cfg.ErrorRate > 0 && rng.Float64() < in.cfg.ErrorRate {
 		in.burstLeft[op] = in.cfg.BurstLen - 1
 		st.Errors++
-		return Fault{Err: fmt.Errorf("%w: failure on %s (call %d)", ErrInjected, op, st.Calls)}
+		return Fault{Err: fmt.Errorf("%w: failure on %s (call %d)", ErrInjected, op, st.Calls), BurnMs: burn}
 	}
-	var f Fault
+	f := Fault{BurnMs: burn}
 	if in.cfg.LatencyRate > 0 && rng.Float64() < in.cfg.LatencyRate {
 		f.LatencyMs = in.cfg.LatencySpikeMs * (0.5 + rng.Float64())
 		st.LatencySpikes++
@@ -170,6 +207,8 @@ func (in *Injector) Totals() OpStats {
 		t.Blackouts += st.Blackouts
 		t.LatencySpikes += st.LatencySpikes
 		t.LatencyMs += st.LatencyMs
+		t.Burns += st.Burns
+		t.BurnMs += st.BurnMs
 	}
 	return t
 }
@@ -191,7 +230,9 @@ func NewFlakySink(op string, inner flume.Sink, inj *Injector) *FlakySink {
 
 // Deliver injects, then forwards to the wrapped sink.
 func (s *FlakySink) Deliver(events []flume.Event) error {
-	if f := s.inj.Decide(s.op); f.Err != nil {
+	f := s.inj.Decide(s.op)
+	f.Burn()
+	if f.Err != nil {
 		return f.Err
 	}
 	return s.inner.Deliver(events)
@@ -217,7 +258,9 @@ func (b *FlakyBus) Produce(topic, key string, value []byte) (int, int64, error) 
 
 // ProduceH injects on the "bus.produce" op, then forwards with headers.
 func (b *FlakyBus) ProduceH(topic, key string, value []byte, headers map[string]string) (int, int64, error) {
-	if f := b.inj.Decide("bus.produce"); f.Err != nil {
+	f := b.inj.Decide("bus.produce")
+	f.Burn()
+	if f.Err != nil {
 		return 0, 0, f.Err
 	}
 	return b.inner.ProduceH(topic, key, value, headers)
@@ -225,7 +268,9 @@ func (b *FlakyBus) ProduceH(topic, key string, value []byte, headers map[string]
 
 // Poll injects on the "bus.poll" op, then forwards.
 func (b *FlakyBus) Poll(group, topic string, max int) ([]stream.Record, error) {
-	if f := b.inj.Decide("bus.poll"); f.Err != nil {
+	f := b.inj.Decide("bus.poll")
+	f.Burn()
+	if f.Err != nil {
 		return nil, f.Err
 	}
 	return b.inner.Poll(group, topic, max)
@@ -256,6 +301,7 @@ func (in *Injector) ClusterHook() func(op string, node int) error {
 		in.mu.Lock()
 		f := in.decideLocked("cluster."+op, rng)
 		in.mu.Unlock()
+		f.Burn()
 		if f.Err != nil {
 			return fmt.Errorf("broker node %d: %w", node, f.Err)
 		}
@@ -355,7 +401,9 @@ func (c *ClusterChaos) Counts() (crashes, restarts int) {
 // per replica I/O, charged to "hdfs.<op>".
 func (in *Injector) HDFSHook() func(op, node string) error {
 	return func(op, node string) error {
-		if f := in.Decide("hdfs." + op); f.Err != nil {
+		f := in.Decide("hdfs." + op)
+		f.Burn()
+		if f.Err != nil {
 			return fmt.Errorf("datanode %s: %w", node, f.Err)
 		}
 		return nil
@@ -366,7 +414,9 @@ func (in *Injector) HDFSHook() func(op, node string) error {
 // per WAL append or flush, charged to "hbase.<op>".
 func (in *Injector) HBaseHook() func(op string) error {
 	return func(op string) error {
-		if f := in.Decide("hbase." + op); f.Err != nil {
+		f := in.Decide("hbase." + op)
+		f.Burn()
+		if f.Err != nil {
 			return f.Err
 		}
 		return nil
@@ -377,7 +427,9 @@ func (in *Injector) HBaseHook() func(op string) error {
 // modeling transient NoSQL write failures.
 func (in *Injector) StoreHook() func() error {
 	return func() error {
-		if f := in.Decide("store.insert"); f.Err != nil {
+		f := in.Decide("store.insert")
+		f.Burn()
+		if f.Err != nil {
 			return f.Err
 		}
 		return nil

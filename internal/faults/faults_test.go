@@ -3,6 +3,7 @@ package faults
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/flume"
 	"repro/internal/stream"
@@ -153,5 +154,46 @@ func TestHooksChargeNamespacedOps(t *testing.T) {
 	totals := inj.Totals()
 	if totals.Calls != 3 || totals.Errors != 3 {
 		t.Fatalf("totals = %+v", totals)
+	}
+}
+
+// The burn seam spins real wall-clock CPU on the targeted op only, so a
+// continuous profiler localizes the hot spot to the code path that called
+// the injector.
+func TestBurnTargetsOneOp(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, BurnOp: "store.insert", BurnMs: 2})
+	hook := inj.StoreHook()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := hook(); err != nil {
+			t.Fatalf("burn-only config must not inject errors: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("5 burned calls took %v, want >= 10ms", elapsed)
+	}
+	// A non-targeted op must not burn.
+	if f := inj.Decide("bus.produce"); f.BurnMs != 0 {
+		t.Fatalf("untargeted op burned %v ms", f.BurnMs)
+	}
+	st := inj.Stats()["store.insert"]
+	if st.Burns != 5 || st.BurnMs != 10 {
+		t.Fatalf("burn stats = %+v", st)
+	}
+	if tot := inj.Totals(); tot.Burns != 5 || tot.BurnMs != 10 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+// An empty BurnOp burns every operation.
+func TestBurnAllOps(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3, BurnMs: 0.1})
+	for _, op := range []string{"a", "b"} {
+		if f := inj.Decide(op); f.BurnMs != 0.1 {
+			t.Fatalf("op %s burn = %v", op, f.BurnMs)
+		}
+	}
+	if tot := inj.Totals(); tot.Burns != 2 {
+		t.Fatalf("totals = %+v", tot)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/profile"
 )
 
 // Sentinel errors.
@@ -75,6 +77,20 @@ type Link struct {
 type Topology struct {
 	nodes map[string]*Node
 	links map[string]*Link // key "from→to"
+
+	// Continuous-profiling region for Run, resolved once by SetProfiler.
+	profRun *profile.Region
+}
+
+// SetProfiler attributes event-driven simulation runs ("fog/simulate") to a
+// continuous-profiling region. nil detaches. Not safe to call concurrently
+// with Run (topologies are built, wired, then run).
+func (t *Topology) SetProfiler(p *profile.Profiler) {
+	if p == nil {
+		t.profRun = nil
+		return
+	}
+	t.profRun = p.Region("fog/simulate")
 }
 
 // NewTopology creates an empty topology.
@@ -274,6 +290,8 @@ func (p *pq) Pop() any     { old := *p; n := len(old); x := old[n-1]; *p = old[:
 
 // Run simulates the jobs to completion and returns aggregate results.
 func (t *Topology) Run(jobs []Job) (*Results, error) {
+	sp := t.profRun.Start()
+	defer sp.End()
 	nodeRes := make(map[string]*resource, len(t.nodes))
 	for id := range t.nodes {
 		nodeRes[id] = &resource{}

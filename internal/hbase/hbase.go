@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/hdfs"
+	"repro/internal/profile"
 )
 
 // Sentinel errors.
@@ -85,6 +86,10 @@ type Table struct {
 	hook     FaultHook
 	events   EventHook
 
+	// Continuous-profiling regions, resolved once by SetProfiler.
+	profWAL   *profile.Region
+	profFlush *profile.Region
+
 	// Metrics.
 	flushes     int
 	compactions int
@@ -124,6 +129,19 @@ func (t *Table) SetFaultHook(h FaultHook) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.hook = h
+}
+
+// SetProfiler attributes WAL appends ("hbase/wal") and memstore flushes
+// ("hbase/flush") to continuous-profiling regions. nil detaches.
+func (t *Table) SetProfiler(p *profile.Profiler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p == nil {
+		t.profWAL, t.profFlush = nil, nil
+		return
+	}
+	t.profWAL = p.Region("hbase/wal")
+	t.profFlush = p.Region("hbase/flush")
 }
 
 // EventHook observes table lifecycle transitions ("flush", "compact",
@@ -188,7 +206,9 @@ func (t *Table) applyLocked(c Cell) error {
 	// The WAL append is the durability point: if it faults, the mutation is
 	// rejected whole — nothing reaches the memstore, so a caller can safely
 	// retry the Put/Delete.
+	sp := t.profWAL.Start()
 	if err := t.faultLocked("wal"); err != nil {
+		sp.End()
 		return fmt.Errorf("wal append %s: %w", t.name, err)
 	}
 	t.wal = append(t.wal, c)
@@ -196,6 +216,9 @@ func (t *Table) applyLocked(c Cell) error {
 	key := cellKey(c.Row, c.Family, c.Qualifier)
 	t.memstore[key] = append([]Cell{c}, t.memstore[key]...)
 	t.memCount++
+	// Ends before a threshold flush so flush time lands in hbase/flush, not
+	// here.
+	sp.End()
 	if t.memCount >= t.cfg.FlushThreshold {
 		if err := t.flushLocked(); err != nil {
 			return err
@@ -218,6 +241,8 @@ func (t *Table) flushLocked() error {
 	if t.memCount == 0 {
 		return nil
 	}
+	sp := t.profFlush.Start()
+	defer sp.End()
 	cells := make([]Cell, 0, t.memCount)
 	for _, versions := range t.memstore {
 		cells = append(cells, versions...)

@@ -13,6 +13,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"repro/internal/profile"
 )
 
 // Sentinel errors.
@@ -72,6 +74,10 @@ type Cluster struct {
 	blocks    map[BlockID]*blockMeta
 	hook      FaultHook
 	counters  Counters
+
+	// Continuous-profiling regions, resolved once by SetProfiler.
+	profWrite *profile.Region
+	profRead  *profile.Region
 }
 
 // Counters accumulates block-level I/O activity across the cluster's
@@ -108,6 +114,19 @@ func (c *Cluster) SetFaultHook(h FaultHook) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hook = h
+}
+
+// SetProfiler attributes block writes ("hdfs/write") and reads
+// ("hdfs/read") to continuous-profiling regions. nil detaches.
+func (c *Cluster) SetProfiler(p *profile.Profiler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p == nil {
+		c.profWrite, c.profRead = nil, nil
+		return
+	}
+	c.profWrite = p.Region("hdfs/write")
+	c.profRead = p.Region("hdfs/read")
 }
 
 // faultLocked consults the hook; callers hold c.mu.
@@ -148,6 +167,8 @@ func (c *Cluster) liveNodes() []*dataNode {
 func (c *Cluster) Write(path string, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sp := c.profWrite.Start()
+	defer sp.End()
 	if _, ok := c.files[path]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, path)
 	}
@@ -237,6 +258,8 @@ func (c *Cluster) dropBlock(bid BlockID) {
 func (c *Cluster) Read(path string) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sp := c.profRead.Start()
+	defer sp.End()
 	f, ok := c.files[path]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)

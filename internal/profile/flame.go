@@ -1,0 +1,106 @@
+package profile
+
+import "sort"
+
+// FlameNode is one node of the region tree — the JSON shape a flame view
+// renders directly: children nest, self is the node's own time, and cum is
+// self plus everything below it.
+type FlameNode struct {
+	// Name is the last path segment; Path the full slash path.
+	Name string `json:"name"`
+	Path string `json:"path"`
+	// Synthetic marks nodes materialized to connect recorded regions whose
+	// parent path was never itself instrumented (their cum is the sum of
+	// their children and their self is zero).
+	Synthetic    bool         `json:"synthetic,omitempty"`
+	Calls        uint64       `json:"calls"`
+	CumSeconds   float64      `json:"cumSeconds"`
+	SelfSeconds  float64      `json:"selfSeconds"`
+	AllocBytes   int64        `json:"allocBytes"`
+	AllocObjects int64        `json:"allocObjects"`
+	Children     []*FlameNode `json:"children,omitempty"`
+}
+
+// Flame builds the region tree from cumulative totals: one root per
+// top-level path segment, children ordered hottest-first. Intermediate
+// paths that were never instrumented are synthesized so the tree always
+// connects.
+func (p *Profiler) Flame() []*FlameNode {
+	return buildFlame(p.Snapshot())
+}
+
+// buildFlame assembles the tree from a region snapshot.
+func buildFlame(stats []RegionStat) []*FlameNode {
+	nodes := make(map[string]*FlameNode, len(stats))
+	for _, st := range stats {
+		nodes[st.Region] = &FlameNode{
+			Name:         lastSegment(st.Region),
+			Path:         st.Region,
+			Calls:        st.Calls,
+			CumSeconds:   st.CumSeconds,
+			SelfSeconds:  st.SelfSeconds,
+			AllocBytes:   st.AllocBytes,
+			AllocObjects: st.AllocObjects,
+		}
+	}
+	// Synthesize missing ancestors so every recorded region hangs off a
+	// root. Walk paths upward; a synthesized parent accumulates its
+	// children's cum below.
+	for _, st := range stats {
+		for path := parentOf(st.Region); path != ""; path = parentOf(path) {
+			if _, ok := nodes[path]; !ok {
+				nodes[path] = &FlameNode{Name: lastSegment(path), Path: path, Synthetic: true}
+			}
+		}
+	}
+	var roots []*FlameNode
+	for path, n := range nodes {
+		parent := parentOf(path)
+		if parent == "" {
+			roots = append(roots, n)
+			continue
+		}
+		nodes[parent].Children = append(nodes[parent].Children, n)
+	}
+	// Synthetic nodes carry the sum of their children, bottom-up: deeper
+	// paths first so a synthetic parent of a synthetic parent still sums.
+	var fill func(n *FlameNode)
+	fill = func(n *FlameNode) {
+		for _, c := range n.Children {
+			fill(c)
+		}
+		if n.Synthetic {
+			for _, c := range n.Children {
+				n.CumSeconds += c.CumSeconds
+				n.AllocBytes += c.AllocBytes
+				n.AllocObjects += c.AllocObjects
+			}
+		}
+		sort.Slice(n.Children, func(i, j int) bool {
+			if n.Children[i].CumSeconds != n.Children[j].CumSeconds {
+				return n.Children[i].CumSeconds > n.Children[j].CumSeconds
+			}
+			return n.Children[i].Path < n.Children[j].Path
+		})
+	}
+	for _, r := range roots {
+		fill(r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].CumSeconds != roots[j].CumSeconds {
+			return roots[i].CumSeconds > roots[j].CumSeconds
+		}
+		return roots[i].Path < roots[j].Path
+	})
+	return roots
+}
+
+// lastSegment returns the final slash-path segment.
+func lastSegment(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

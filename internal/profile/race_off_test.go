@@ -1,0 +1,5 @@
+//go:build !race
+
+package profile
+
+const raceEnabled = false

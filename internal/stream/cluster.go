@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/profile"
 )
 
 // This file implements the replicated, multi-node broker the paper's
@@ -190,6 +192,12 @@ type Cluster struct {
 	stats     ClusterStats
 	faultHook func(op string, node int) error
 	observer  func(ClusterEvent)
+
+	// Continuous-profiling regions, resolved once by SetProfiler; the nil
+	// handles before wiring cost one branch per produce/poll.
+	profAppend    *profile.Region
+	profReplicate *profile.Region
+	profPoll      *profile.Region
 }
 
 var _ Bus = (*Cluster)(nil)
@@ -224,6 +232,22 @@ func (c *Cluster) SetClock(now func() time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.now = now
+}
+
+// SetProfiler resolves the cluster's continuous-profiling regions: the
+// leader-side append ("broker/append", with the ISR fan-out attributed to
+// "broker/append/replicate") and the consumer read ("broker/poll"). nil
+// detaches.
+func (c *Cluster) SetProfiler(p *profile.Profiler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p == nil {
+		c.profAppend, c.profReplicate, c.profPoll = nil, nil, nil
+		return
+	}
+	c.profAppend = p.Region("broker/append")
+	c.profReplicate = p.Region("broker/append/replicate")
+	c.profPoll = p.Region("broker/poll")
 }
 
 // SetFaultHook installs the replication-lag injection seam. The hook is
@@ -454,8 +478,10 @@ func (c *Cluster) PartitionFor(topicName, key string) (int, error) {
 // every ISR member, and a rejected produce leaves no partial state for a
 // retry to duplicate.
 func (c *Cluster) produceLocked(topicName string, t *clusterTopic, p int, key string, value []byte, headers map[string]string) (int64, error) {
+	spAppend := c.profAppend.Start()
 	part := t.parts[p]
 	if part.leader == -1 || !c.nodes[part.leader].up {
+		spAppend.End()
 		if part.leader != -1 {
 			// Defensive: a crash always clears leadership, but never ack
 			// through a dead leader.
@@ -465,7 +491,14 @@ func (c *Cluster) produceLocked(topicName string, t *clusterTopic, p int, key st
 		c.stats.UnavailableErrors++
 		return 0, fmt.Errorf("%w: %s/%d (epoch %d)", ErrNoLeader, topicName, p, part.epoch)
 	}
-	// Decide each in-sync follower's replication round first.
+	// Decide each in-sync follower's replication round first. Everything
+	// from here to the acknowledged append is the replication protocol and
+	// is attributed to broker/append/replicate. Both spans end together on
+	// each exit (a deferred End would bill the caller's epilogue to
+	// replication) and share the append span's start reading — two clock
+	// reads per record instead of four, at the cost of billing the
+	// nanoseconds of the leader check above to replicate instead of append.
+	spReplicate := c.profReplicate.StartAt(spAppend.StartTime())
 	survivors := part.isr[:0:0]
 	var dropped []int
 	for _, n := range part.isr {
@@ -486,6 +519,9 @@ func (c *Cluster) produceLocked(topicName string, t *clusterTopic, p int, key st
 		survivors = append(survivors, n)
 	}
 	if len(survivors) < c.cfg.MinISR {
+		at := profile.Now()
+		spReplicate.EndAt(at)
+		spAppend.EndAt(at)
 		// Not enough in-sync copies would carry the record: reject without
 		// touching any log or the ISR, so a later retry can succeed cleanly.
 		c.stats.UnavailableErrors++
@@ -517,6 +553,9 @@ func (c *Cluster) produceLocked(topicName string, t *clusterTopic, p int, key st
 				Detail: fmt.Sprintf("missed offset %d", off)})
 		}
 	}
+	at := profile.Now()
+	spReplicate.EndAt(at)
+	spAppend.EndAt(at)
 	return off, nil
 }
 
@@ -550,6 +589,8 @@ func (c *Cluster) groupOffsets(g *clusterGroup, m map[string][]int64, topicName 
 func (c *Cluster) Poll(groupName, topicName string, max int) ([]Record, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sp := c.profPoll.Start()
+	defer sp.End()
 	t, ok := c.topics[topicName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownTopic, topicName)

@@ -26,7 +26,10 @@ const (
 // plus at least one condition. A static threshold (Op non-empty) breaches
 // when `value Op Threshold`; an anomaly detector (ZScore > 0) breaches when
 // the value sits more than ZScore weighted standard deviations from its
-// EWMA baseline. A rule with both breaches when either condition trips.
+// EWMA baseline. A rule with both breaches when either condition trips —
+// unless AndConditions is set, in which case both must trip together (the
+// shape for "anomalous AND above an absolute floor", which keeps tiny
+// baseline wobbles from paging).
 type Rule struct {
 	Name     string `json:"name"`
 	Expr     string `json:"expr"`
@@ -43,6 +46,10 @@ type Rule struct {
 	// WarmupTicks is how many evaluations must seed the baseline before the
 	// z-score may breach (0 means 5).
 	WarmupTicks int `json:"warmupTicks,omitempty"`
+
+	// AndConditions requires every configured condition to breach on the
+	// same evaluation (ignored unless both Op and ZScore are set).
+	AndConditions bool `json:"andConditions,omitempty"`
 
 	// ForTicks is how many consecutive breaching evaluations beyond the
 	// first are required before Pending escalates to Firing (0 fires on the
@@ -218,17 +225,12 @@ func (e *Engine) Eval() {
 // does not defend itself by inflating the variance it is judged against.
 func (e *Engine) detect(rs *ruleState, v float64) bool {
 	r := rs.rule
-	breach := false
-	if r.Op == CmpGT && v > r.Threshold {
-		breach = true
-	}
-	if r.Op == CmpLT && v < r.Threshold {
-		breach = true
-	}
+	opBreach := (r.Op == CmpGT && v > r.Threshold) || (r.Op == CmpLT && v < r.Threshold)
+	zBreach := false
 	if r.ZScore > 0 {
 		if rs.warm >= r.WarmupTicks {
 			if std := math.Sqrt(rs.varEW); std > 0 && math.Abs(v-rs.mean)/std > r.ZScore {
-				breach = true
+				zBreach = true
 			}
 		}
 		if rs.warm == 0 {
@@ -241,7 +243,10 @@ func (e *Engine) detect(rs *ruleState, v float64) bool {
 		}
 		rs.warm++
 	}
-	return breach
+	if r.AndConditions && r.Op != "" && r.ZScore > 0 {
+		return opBreach && zBreach
+	}
+	return opBreach || zBreach
 }
 
 // step advances one rule's state machine by one evaluation (caller holds

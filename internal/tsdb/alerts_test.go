@@ -205,3 +205,42 @@ func snapshotMap(reg *telemetry.Registry) map[string]float64 {
 	}
 	return out
 }
+
+// AndConditions gates firing on BOTH the z-score anomaly and the absolute
+// floor: a statistically wild but tiny value stays quiet, a large but
+// baseline-consistent value stays quiet, and only large-and-anomalous fires.
+func TestAndConditionsRequiresBothBreaches(t *testing.T) {
+	rule := Rule{
+		Name: "both", Expr: "signal",
+		Op: CmpGT, Threshold: 50,
+		ZScore: 3, Alpha: 0.3, WarmupTicks: 4,
+		AndConditions: true,
+	}
+
+	// Anomalous but under the floor: 10 is ~100 sigma off a 1±0.1 baseline,
+	// and with OR semantics it would fire; AND keeps it quiet.
+	f := newAlertFixture(t, rule)
+	for _, v := range []float64{1, 1.1, 0.9, 1, 1.05, 0.95} {
+		f.tick(v)
+	}
+	f.tick(10)
+	if st := f.state(); st.State != StateInactive || st.FiredCount != 0 {
+		t.Fatalf("anomalous-but-small value tripped AND rule: %+v", st)
+	}
+
+	// Above the floor but statistically normal: a 60±1 baseline breaches the
+	// static side every tick, and the z-score side holds the rule back.
+	f = newAlertFixture(t, rule)
+	for i := 0; i < 12; i++ {
+		f.tick(60 + float64(i%3)) // 60, 61, 62, ...
+	}
+	if st := f.state(); st.State != StateInactive || st.FiredCount != 0 {
+		t.Fatalf("baseline-consistent value above floor tripped AND rule: %+v", st)
+	}
+
+	// Large AND anomalous fires.
+	f.tick(500)
+	if st := f.state(); st.State != StateFiring || st.FiredCount != 1 {
+		t.Fatalf("large anomalous value did not fire: %+v", st)
+	}
+}

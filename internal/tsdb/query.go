@@ -109,6 +109,8 @@ func parseExpr(expr string) (query, error) {
 // Eval parses and evaluates one expression at the given instant (the window
 // is [at-window, at], boundaries inclusive).
 func (st *Store) Eval(expr string, at time.Time) (Value, error) {
+	sp := st.profRegion(true).Start()
+	defer sp.End()
 	q, err := parseExpr(expr)
 	if err != nil {
 		return Value{}, err

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 )
 
@@ -103,6 +104,10 @@ type Store struct {
 	series    map[string]*series
 	exemplars map[string]string // histogram family -> worst-bucket trace id
 	scrapes   int64
+
+	// Continuous-profiling regions, resolved once by SetProfiler.
+	profScrape *profile.Region
+	profQuery  *profile.Region
 }
 
 // NewStore builds an empty store over the registry.
@@ -122,6 +127,30 @@ func NewStore(reg *telemetry.Registry, cfg Config) *Store {
 
 // Now returns the store's current clock reading.
 func (st *Store) Now() time.Time { return st.now() }
+
+// SetProfiler attributes scrape ticks ("tsdb/scrape") and query evaluation
+// ("tsdb/query") to continuous-profiling regions. nil detaches.
+func (st *Store) SetProfiler(p *profile.Profiler) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if p == nil {
+		st.profScrape, st.profQuery = nil, nil
+		return
+	}
+	st.profScrape = p.Region("tsdb/scrape")
+	st.profQuery = p.Region("tsdb/query")
+}
+
+// profRegion reads one profiling handle under the read lock (scrape and
+// query run concurrently with SetProfiler in tests).
+func (st *Store) profRegion(query bool) *profile.Region {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if query {
+		return st.profQuery
+	}
+	return st.profScrape
+}
 
 // Scrapes returns how many scrape ticks have run.
 func (st *Store) Scrapes() int64 {
@@ -148,6 +177,8 @@ func suffixName(name, suffix string) string {
 // estimates (which is what quantile-over-history queries read). It returns
 // the number of series updated.
 func (st *Store) Scrape() int {
+	sp := st.profRegion(false).Start()
+	defer sp.End()
 	// Snapshot outside the lock: CounterFunc/GaugeFunc callbacks read
 	// component stats and must not serialize against concurrent queries.
 	points := st.reg.Snapshot()

@@ -14,10 +14,12 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/profile"
 	"repro/internal/tsdb"
 )
 
@@ -51,27 +53,50 @@ func NewServer(inf *core.Infrastructure) *Server {
 	s.mux.HandleFunc("GET /api/series", s.handleSeries)
 	s.mux.HandleFunc("GET /api/alerting", s.handleAlerting)
 	s.mux.HandleFunc("GET /api/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /api/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /api/profile/flame", s.handleProfileFlame)
 	s.registerRuntimeMetrics()
 	return s
 }
 
+// memStatsCache shares one runtime.ReadMemStats snapshot between all the
+// gauge callbacks of a single scrape. ReadMemStats is a stop-the-world
+// operation, so reading it once per gauge would multiply the pause by the
+// number of memory gauges; the short wall-clock TTL spans one registry
+// snapshot but not two scrape ticks.
+type memStatsCache struct {
+	mu sync.Mutex
+	at time.Time
+	m  runtime.MemStats
+}
+
+func (c *memStatsCache) snapshot() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at.IsZero() || time.Since(c.at) > 50*time.Millisecond {
+		runtime.ReadMemStats(&c.m)
+		c.at = time.Now()
+	}
+	return c.m
+}
+
 // registerRuntimeMetrics exposes the serving process's own Go runtime health
 // on /metrics next to the infrastructure families: goroutine count, live heap
-// bytes, and a p99 over the GC pause ring.
+// bytes, and a p99 over the GC pause ring. The heap and GC gauges share one
+// MemStats snapshot per scrape.
 func (s *Server) registerRuntimeMetrics() {
 	r := s.inf.Telemetry
+	cache := &memStatsCache{}
 	r.GaugeFunc("cityinfra_go_goroutines", "goroutines currently live",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	r.GaugeFunc("cityinfra_go_heap_alloc_bytes", "bytes of allocated heap objects",
 		func() float64 {
-			var m runtime.MemStats
-			runtime.ReadMemStats(&m)
+			m := cache.snapshot()
 			return float64(m.HeapAlloc)
 		})
 	r.GaugeFunc("cityinfra_go_gc_pause_p99_seconds", "p99 of the runtime's recent GC pause ring",
 		func() float64 {
-			var m runtime.MemStats
-			runtime.ReadMemStats(&m)
+			m := cache.snapshot()
 			n := int(m.NumGC)
 			if n == 0 {
 				return 0
@@ -243,6 +268,67 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count": len(inv), "scrapes": s.inf.TSDB.Scrapes(), "series": inv,
 	})
+}
+
+// handleProfile serves the continuous profiler's region table: cumulative
+// and self seconds, calls, and sampled allocation rates per region, plus the
+// last tick's hot-region ranking (the same ranking the watch dashboard and
+// the cityinfra_profile_hot_region_* series report). ?limit= caps both
+// listings; ?sort=self|cum|allocs orders the region table (default self).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sortKey := r.URL.Query().Get("sort")
+	if sortKey == "" {
+		sortKey = "self"
+	}
+	var less func(a, b profile.RegionStat) bool
+	switch sortKey {
+	case "self":
+		less = func(a, b profile.RegionStat) bool { return a.SelfSeconds > b.SelfSeconds }
+	case "cum":
+		less = func(a, b profile.RegionStat) bool { return a.CumSeconds > b.CumSeconds }
+	case "allocs":
+		less = func(a, b profile.RegionStat) bool { return a.AllocBytes > b.AllocBytes }
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: sort must be self, cum, or allocs", ErrBadRequest))
+		return
+	}
+	p := s.inf.Profiler
+	regions := p.Snapshot()
+	sort.SliceStable(regions, func(i, j int) bool { return less(regions[i], regions[j]) })
+	total := len(regions)
+	if limit > 0 && limit < len(regions) {
+		regions = regions[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(regions),
+		"total":   total,
+		"ticks":   p.Ticks(),
+		"sort":    sortKey,
+		"regions": regions,
+		"hot":     p.HotRegions(limit),
+	})
+}
+
+// handleProfileFlame serves the region tree as nested flame-view JSON:
+// children within parents, hottest-first, with synthesized connector nodes
+// marked.
+func (s *Server) handleProfileFlame(w http.ResponseWriter, r *http.Request) {
+	roots := s.inf.Profiler.Flame()
+	n := 0
+	var count func(nodes []*profile.FlameNode)
+	count = func(nodes []*profile.FlameNode) {
+		for _, node := range nodes {
+			n++
+			count(node.Children)
+		}
+	}
+	count(roots)
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": n, "roots": roots})
 }
 
 // handleAlerting serves the alert engine's rule states — the declarative

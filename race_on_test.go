@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-budget assertions are skipped because instrumentation changes
+// allocs/op.
+const raceEnabled = true
