@@ -104,9 +104,12 @@ func TestFrameIngestAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Raise the live offload gate so the fixed 0.42-confidence frame always
+	// crosses the full offload path.
+	inf.Knobs.SetOffloadThreshold(0.9)
 	frames := []core.FrameEvent{allocFrame}
 	allocs := testing.AllocsPerRun(200, func() {
-		st, err := inf.IngestFrames(frames, 0.9, "")
+		st, err := inf.IngestFrames(frames, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,11 +130,12 @@ func BenchmarkFrameIngest(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	inf.Knobs.SetOffloadThreshold(0.9)
 	frames := []core.FrameEvent{allocFrame}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := inf.IngestFrames(frames, 0.9, ""); err != nil {
+		if _, err := inf.IngestFrames(frames, ""); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/dataproc"
 	"repro/internal/experiments"
 	"repro/internal/fog"
@@ -215,6 +216,37 @@ func BenchmarkE20_TracedChaosSweep(b *testing.B)    { benchExperiment(b, "E20") 
 func BenchmarkE21_MetricsMonitor(b *testing.B)      { benchExperiment(b, "E21") }
 func BenchmarkE22_ClusterFailover(b *testing.B)     { benchExperiment(b, "E22") }
 func BenchmarkE23_ContinuousProfiling(b *testing.B) { benchExperiment(b, "E23") }
+func BenchmarkE24_AdaptiveControl(b *testing.B)     { benchExperiment(b, "E24") }
+
+// BenchmarkControllerTick measures one closed-loop control cycle — the cost
+// the adaptive controller adds to every monitor tick on top of scrape and
+// alert evaluation. Signals alternate degraded/healthy so classification,
+// action selection, and recovery all stay on the measured path.
+func BenchmarkControllerTick(b *testing.B) {
+	knobs := control.NewKnobs(0.5)
+	degraded := false
+	sig := control.Signals{
+		Firing:      func() []string { return nil },
+		BurnRate:    func() float64 { return 0 },
+		BreakerOpen: func() bool { return degraded },
+		HotRegion:   func() (string, float64) { return "ingest/store", 0.4 },
+		Eval: func(string) (float64, bool) {
+			if degraded {
+				return 2, true
+			}
+			return 0, true
+		},
+	}
+	cfg := control.DefaultConfig()
+	cfg.WatchRules = []string{"breaker-open"}
+	c := control.NewController(knobs, cfg, sig, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		degraded = i%8 < 4
+		c.Tick()
+	}
+}
 
 // benchCluster measures the replicated produce path: RF 1 acks on the
 // leader's append alone, RF 3 acks only after the record lands on every

@@ -106,6 +106,30 @@ func renderWatch(inf *core.Infrastructure, w io.Writer, frame int, clear bool) {
 	fmt.Fprintf(w, "  replication      under-replicated %d, leaderless %d, elections %d (unclean %d), last failover %d ticks\n",
 		cst.UnderReplicated, cst.Leaderless, cst.Stats.Elections, cst.Stats.UncleanElections, cst.Stats.LastFailoverTicks)
 
+	// Controller pane: the closed loop's verdict, every live knob, and the
+	// most recent mitigations so an operator can see why ingest behavior
+	// just changed.
+	ctl := inf.Control.Status()
+	verdict := "healthy"
+	if ctl.Degraded {
+		verdict = "DEGRADED"
+	}
+	if !ctl.Enabled {
+		verdict = "disabled"
+	}
+	fmt.Fprintf(w, "\n  controller       %s (streak +%d/-%d)   threshold %.2f   tier %s   shed %d   actions %d\n",
+		verdict, ctl.HealthyStreak, ctl.DegradedStreak,
+		ctl.OffloadThreshold, ctl.InferenceTier, ctl.ShedLevel, len(ctl.Actions))
+	if n := len(ctl.Actions); n > 0 {
+		start := n - 3
+		if start < 0 {
+			start = 0
+		}
+		for _, a := range ctl.Actions[start:] {
+			fmt.Fprintf(w, "    tick %-4d %-16s → %-6.2f %s\n", a.Tick, a.Kind, a.Value, a.Reason)
+		}
+	}
+
 	// Hot-regions pane: where the last profiling window's self time went.
 	// Shares are of the window's total self time, so a CPU burn injected in
 	// one component visibly crowds out every other row.

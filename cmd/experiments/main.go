@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's figures and quantitative
-// claims (experiments E1..E22, see DESIGN.md §4). Without arguments it runs
+// claims (experiments E1..E24, see DESIGN.md §4). Without arguments it runs
 // everything; pass experiment ids to run a subset.
 //
 //	go run ./cmd/experiments                         # all experiments
@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/experiments"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
@@ -35,7 +36,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed shared by all experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	benchJSON := fs.String("bench-json", "", "benchmark the E18..E22 hot paths plus the monitoring and broker micro paths and write ops/sec + p99 JSON to this file")
+	benchJSON := fs.String("bench-json", "", "benchmark the E18..E22 and E24 hot paths plus the monitoring, control, and broker micro paths and write ops/sec + p99 JSON to this file")
 	benchLabel := fs.String("bench-label", "", "free-form label (e.g. PR7) embedded in the -bench-json output so benchdiff can name what it compares")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,9 +136,10 @@ func benchClusterFixture(rf int) (*stream.Cluster, error) {
 // writeBenchJSON times the heaviest pipeline experiments — E18 (chaos sweep
 // through the hardened ingestion path), E19 (fog latency attribution), E20
 // (traced chaos sweep across the offload boundary), E21 (metrics monitor
-// loop), and E22 (replicated-broker failover) — plus the monitoring and
-// broker micro paths a deployment pays on every scrape tick and produce,
-// and records throughput plus tail latency.
+// loop), E22 (replicated-broker failover), and E24 (closed-loop adaptive
+// control) — plus the monitoring, broker, and control micro paths a
+// deployment pays on every scrape tick and produce, and records throughput
+// plus tail latency.
 // gitCommit returns the short hash of HEAD, or "" when git (or the repo)
 // is unavailable — bench JSON stays writable from an exported tarball.
 func gitCommit() string {
@@ -149,10 +151,18 @@ func gitCommit() string {
 }
 
 func writeBenchJSON(path string, seed int64, label string) error {
-	const iters = 20
+	// E24 replays a 100-tick two-arm chaos schedule per run, so it gets a
+	// smaller iteration count than the sub-second experiments.
+	experimentIters := []struct {
+		id    string
+		iters int
+	}{
+		{"E18", 20}, {"E19", 20}, {"E20", 20}, {"E21", 20}, {"E22", 20}, {"E24", 3},
+	}
 	var results []benchResult
-	for _, id := range []string{"E18", "E19", "E20", "E21", "E22"} {
-		r, err := benchLoop(id, iters, func(i int) error {
+	for _, e := range experimentIters {
+		id := e.id
+		r, err := benchLoop(id, e.iters, func(i int) error {
 			res, err := experiments.Run(id, seed+int64(i))
 			if err == nil && len(res.Tables) == 0 {
 				return fmt.Errorf("no tables")
@@ -199,6 +209,37 @@ func writeBenchJSON(path string, seed int64, label string) error {
 		return err
 	}
 	results = append(results, snap, scrape, eval)
+
+	// Control micro path: one closed-loop cycle with signals alternating
+	// degraded/healthy, the per-monitor-tick cost the adaptive controller
+	// adds on top of scrape and alert evaluation.
+	knobs := control.NewKnobs(0.5)
+	degraded := false
+	ctl := control.NewController(knobs, func() control.Config {
+		cfg := control.DefaultConfig()
+		cfg.WatchRules = []string{"breaker-open"}
+		return cfg
+	}(), control.Signals{
+		Firing:      func() []string { return nil },
+		BurnRate:    func() float64 { return 0 },
+		BreakerOpen: func() bool { return degraded },
+		HotRegion:   func() (string, float64) { return "ingest/store", 0.4 },
+		Eval: func(string) (float64, bool) {
+			if degraded {
+				return 2, true
+			}
+			return 0, true
+		},
+	}, nil)
+	ctlTick, err := benchLoop("Controller.Tick", microIters, func(i int) error {
+		degraded = i%8 < 4
+		ctl.Tick()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	results = append(results, ctlTick)
 
 	// Broker micro paths: produce at RF 1 (leader-only ack) vs RF 3 (ack
 	// after full-ISR replication), and the poll-then-commit consumer hop.

@@ -1,0 +1,169 @@
+package control
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fog"
+	"repro/internal/rl"
+)
+
+// OffloadEnvConfig sizes the threshold-tuning environment.
+type OffloadEnvConfig struct {
+	// Items is the number of inference items evaluated per step.
+	Items int
+	// MaxSteps bounds an episode.
+	MaxSteps int
+	// ThresholdStep is how far one lower/raise action moves the gate.
+	ThresholdStep float64
+	// LatencyScaleMs normalizes the simulated p95 into the reward.
+	LatencyScaleMs float64
+	// AccuracyWeight penalizes the share of items the gate exits locally
+	// despite low confidence — the accuracy cost of an over-tight gate.
+	AccuracyWeight float64
+	// LowConfidence is the confidence below which a local exit counts as an
+	// accuracy risk.
+	LowConfidence float64
+}
+
+// DefaultOffloadEnvConfig returns laptop-scale defaults: 64 items per step,
+// 12-step episodes.
+func DefaultOffloadEnvConfig() OffloadEnvConfig {
+	return OffloadEnvConfig{
+		Items: 64, MaxSteps: 12, ThresholdStep: 0.1,
+		LatencyScaleMs: 100, AccuracyWeight: 2, LowConfidence: 0.5,
+	}
+}
+
+// OffloadEnv is an rl.Environment over the fog simulator for learning the
+// early-exit offload threshold: actions lower/hold/raise the gate, the
+// reward trades simulated p95 latency (offloading queues the uplink and
+// servers) against the accuracy risk of exiting low-confidence frames
+// locally. It exists to compare the rule-based controller against the
+// internal/rl DQN on the same signal the controller tunes.
+type OffloadEnv struct {
+	d   *fog.Deployment
+	cfg OffloadEnvConfig
+
+	threshold float64
+	steps     int
+	items     []fog.InferenceItem
+}
+
+var _ rl.Environment = (*OffloadEnv)(nil)
+
+// Env actions.
+const (
+	ActLower = iota
+	ActHold
+	ActRaise
+)
+
+// NewOffloadEnv builds the environment over a fog deployment.
+func NewOffloadEnv(d *fog.Deployment, cfg OffloadEnvConfig) (*OffloadEnv, error) {
+	if d == nil {
+		return nil, fmt.Errorf("control: offload env needs a deployment")
+	}
+	def := DefaultOffloadEnvConfig()
+	if cfg.Items <= 0 {
+		cfg.Items = def.Items
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = def.MaxSteps
+	}
+	if cfg.ThresholdStep <= 0 {
+		cfg.ThresholdStep = def.ThresholdStep
+	}
+	if cfg.LatencyScaleMs <= 0 {
+		cfg.LatencyScaleMs = def.LatencyScaleMs
+	}
+	if cfg.AccuracyWeight < 0 {
+		cfg.AccuracyWeight = def.AccuracyWeight
+	}
+	if cfg.LowConfidence <= 0 {
+		cfg.LowConfidence = def.LowConfidence
+	}
+	return &OffloadEnv{d: d, cfg: cfg}, nil
+}
+
+// NumActions returns the lower/hold/raise action space.
+func (e *OffloadEnv) NumActions() int { return 3 }
+
+// StateDim returns the observation width: threshold, offload share,
+// normalized p95.
+func (e *OffloadEnv) StateDim() int { return 3 }
+
+// Reset starts an episode at a randomized threshold over a fresh item batch.
+func (e *OffloadEnv) Reset(rng *rand.Rand) rl.State {
+	e.steps = 0
+	e.threshold = 0.2 + 0.6*rng.Float64()
+	e.items = e.genItems(rng)
+	s, _ := e.evaluate()
+	return s
+}
+
+// Step applies an action, re-runs the simulator at the new threshold, and
+// returns the observation and reward.
+func (e *OffloadEnv) Step(action int, rng *rand.Rand) (rl.State, float64, bool) {
+	switch action {
+	case ActLower:
+		e.threshold -= e.cfg.ThresholdStep
+	case ActRaise:
+		e.threshold += e.cfg.ThresholdStep
+	}
+	if e.threshold < 0 {
+		e.threshold = 0
+	} else if e.threshold > 1 {
+		e.threshold = 1
+	}
+	e.steps++
+	s, reward := e.evaluate()
+	return s, reward, e.steps >= e.cfg.MaxSteps
+}
+
+// evaluate runs the early-exit policy at the current threshold and folds
+// the run into (state, reward).
+func (e *OffloadEnv) evaluate() (rl.State, float64) {
+	res, err := e.d.RunPolicy(fog.Policy{Kind: fog.PolicyEarlyExit, Threshold: e.threshold}, e.items)
+	if err != nil {
+		// The deployment and items are validated at construction; an error
+		// here means a misconfigured episode — return a strongly negative
+		// terminal reward instead of panicking inside training.
+		return rl.State{e.threshold, 0, 0}, -10
+	}
+	offloaded, risky := 0, 0
+	for _, it := range e.items {
+		if it.Confidence < e.threshold {
+			offloaded++
+		} else if it.Confidence < e.cfg.LowConfidence {
+			risky++
+		}
+	}
+	n := float64(len(e.items))
+	offloadShare := float64(offloaded) / n
+	riskShare := float64(risky) / n
+	p95 := res.P95Ms / e.cfg.LatencyScaleMs
+	reward := -p95 - e.cfg.AccuracyWeight*riskShare
+	return rl.State{e.threshold, offloadShare, p95}, reward
+}
+
+// genItems draws one batch of inference items shaped like the frame
+// pipeline's traffic.
+func (e *OffloadEnv) genItems(rng *rand.Rand) []fog.InferenceItem {
+	items := make([]fog.InferenceItem, e.cfg.Items)
+	for i := range items {
+		items[i] = fog.InferenceItem{
+			ID:        fmt.Sprintf("it-%d", i),
+			EdgeIdx:   i % len(e.d.Edges),
+			ReleaseMs: float64(i),
+			// Confidence skews high: most frames are easy, the tail is hard.
+			Confidence:   1 - rng.Float64()*rng.Float64(),
+			RawBytes:     30000,
+			FeatureBytes: 6000,
+			LocalOps:     150,
+			ServerOps:    1800,
+			FullOps:      2200,
+		}
+	}
+	return items
+}

@@ -1,0 +1,88 @@
+// Package control closes the observe→act loop the monitoring layers
+// (PRs 4–7) left open: a deterministic feedback controller that runs on the
+// monitor tick, reads the TSDB query layer, alert states, SLO burn, and
+// profiler hot regions, and adjusts live pipeline knobs — the fog early-exit
+// offload threshold, the inference tier (server vs fog-local), and a
+// priority-based load-shedding level — with hysteresis and per-action
+// cooldowns so it nudges instead of thrashes. This is the EdgeLens-style
+// runtime reconfiguration the paper's fog architecture motivates.
+package control
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Tier says where frame inference and archiving run.
+type Tier int32
+
+const (
+	// TierServer is the default four-tier path: the fog gate produces every
+	// frame across the broker and analysis servers drain, infer, and archive.
+	TierServer Tier = iota
+	// TierFog short-circuits the broker hop: the fog node runs inference
+	// locally and writes annotations straight through, trading server-model
+	// accuracy for independence from the uplink and the analysis tier.
+	TierFog
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	if t == TierFog {
+		return "fog"
+	}
+	return "server"
+}
+
+// Knobs is the set of live, atomically-readable pipeline parameters the
+// controller owns. The ingest hot path reads them lock-free on every frame;
+// the controller (or a test) writes them from any goroutine. All accessors
+// are safe for concurrent use — the float threshold is stored as IEEE-754
+// bits in a uint64 so readers can never observe a torn value.
+type Knobs struct {
+	threshold atomic.Uint64 // float64 bits
+	tier      atomic.Int32
+	shed      atomic.Int32
+}
+
+// NewKnobs returns knobs at the given offload threshold, server tier, and
+// shed level 0.
+func NewKnobs(threshold float64) *Knobs {
+	k := &Knobs{}
+	k.SetOffloadThreshold(threshold)
+	return k
+}
+
+// OffloadThreshold is the fog early-exit confidence gate: frames below it
+// offload their feature maps upstream.
+func (k *Knobs) OffloadThreshold() float64 {
+	return math.Float64frombits(k.threshold.Load())
+}
+
+// SetOffloadThreshold moves the gate, clamped to [0, 1].
+func (k *Knobs) SetOffloadThreshold(v float64) {
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	k.threshold.Store(math.Float64bits(v))
+}
+
+// InferenceTier says which tier serves frame inference.
+func (k *Knobs) InferenceTier() Tier { return Tier(k.tier.Load()) }
+
+// SetInferenceTier migrates inference between tiers.
+func (k *Knobs) SetInferenceTier(t Tier) { k.tier.Store(int32(t)) }
+
+// ShedLevel is the admission floor: frames with Priority below it are
+// dropped at the gate without entering the pipeline. 0 admits everything.
+func (k *Knobs) ShedLevel() int { return int(k.shed.Load()) }
+
+// SetShedLevel moves the admission floor (negative values clamp to 0).
+func (k *Knobs) SetShedLevel(n int) {
+	if n < 0 {
+		n = 0
+	}
+	k.shed.Store(int32(n))
+}

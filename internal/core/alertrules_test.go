@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
+
+// ruleSeries extracts the series name an alert expression reads: either the
+// bare series of an instant query or the inner operand of a windowed
+// function like rate(name[15s]).
+func ruleSeries(expr string) string {
+	if open := strings.IndexByte(expr, '('); open >= 0 {
+		expr = expr[open+1:]
+		if close := strings.IndexByte(expr, ')'); close >= 0 {
+			expr = expr[:close]
+		}
+	}
+	if bracket := strings.IndexByte(expr, '['); bracket >= 0 {
+		expr = expr[:bracket]
+	}
+	return strings.TrimSpace(expr)
+}
+
+// TestDefaultAlertRulesTable pins the shipped rule set — names, severities,
+// comparison setpoints, streak requirements — and proves every referenced
+// series actually exists after a monitor tick, so a renamed metric can't
+// silently turn a rule into a never-firing no-op (missing series never
+// breach).
+func TestDefaultAlertRulesTable(t *testing.T) {
+	want := []struct {
+		name      string
+		severity  string
+		op        string
+		threshold float64
+		forTicks  int
+		zscore    float64
+	}{
+		{"ingest-delivery-rate", telemetry.LevelError, tsdb.CmpGT, 0, 1, 0},
+		{"breaker-open", telemetry.LevelError, tsdb.CmpGT, 1.5, 0, 0},
+		{"hdfs-lost-blocks", telemetry.LevelError, tsdb.CmpGT, 0, 0, 0},
+		{"ingest-p99-anomaly", telemetry.LevelWarn, "", 0, 1, 4},
+		{"broker-under-replicated", telemetry.LevelWarn, tsdb.CmpGT, 0, 0, 0},
+		{"profile-hot-region-anomaly", telemetry.LevelWarn, tsdb.CmpGT, 0.05, 0, 4},
+		{"control-load-shedding", telemetry.LevelWarn, tsdb.CmpGT, 0, 0, 0},
+		{"control-inference-migrated", telemetry.LevelWarn, tsdb.CmpLT, 0.5, 0, 0},
+	}
+
+	rules := DefaultAlertRules()
+	if len(rules) != len(want) {
+		t.Fatalf("rule count = %d, want %d", len(rules), len(want))
+	}
+	byName := map[string]tsdb.Rule{}
+	for i, r := range rules {
+		if r.Name != want[i].name {
+			t.Errorf("rule %d = %q, want %q (order is part of the contract)", i, r.Name, want[i].name)
+		}
+		byName[r.Name] = r
+	}
+	for _, w := range want {
+		r, ok := byName[w.name]
+		if !ok {
+			continue // order mismatch already reported
+		}
+		if r.Severity != w.severity {
+			t.Errorf("%s: severity %q, want %q", w.name, r.Severity, w.severity)
+		}
+		if w.op != "" && (r.Op != w.op || r.Threshold != w.threshold) {
+			t.Errorf("%s: %s %v, want %s %v", w.name, r.Op, r.Threshold, w.op, w.threshold)
+		}
+		if r.ForTicks != w.forTicks {
+			t.Errorf("%s: ForTicks %d, want %d", w.name, r.ForTicks, w.forTicks)
+		}
+		if r.ZScore != w.zscore {
+			t.Errorf("%s: ZScore %v, want %v", w.name, r.ZScore, w.zscore)
+		}
+		if r.Expr == "" {
+			t.Errorf("%s: empty expression", w.name)
+		}
+	}
+
+	// Every rule's series must resolve after real traffic and one scrape.
+	inf := bootSmall(t)
+	if _, err := inf.IngestFrames([]FrameEvent{{
+		CameraID: "cam-1", Seq: 1, Class: "vehicle", Confidence: 0.3,
+		RawBytes: 1 << 10, FeatureBytes: 256,
+	}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	inf.MonitorTick()
+	for _, r := range rules {
+		series := ruleSeries(r.Expr)
+		if series == "" {
+			t.Fatalf("%s: no series in expr %q", r.Name, r.Expr)
+		}
+		if _, err := inf.TSDB.Latest(series); err != nil {
+			t.Errorf("%s: series %q missing after scrape: %v", r.Name, series, err)
+		}
+	}
+
+	// The booted engine carries exactly this rule set.
+	states := inf.Alerts.States()
+	if len(states) != len(rules) {
+		t.Fatalf("engine has %d rules, want %d", len(states), len(rules))
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/control"
+)
+
+// TestControlKnobsRaceWithIngestAndFailover drives controller-style knob
+// reconfiguration concurrently with frame ingest, monitor ticks, and a
+// broker leader kill/restart cycle — the full contention surface the live
+// knobs face. Run under -race it proves the hot path's lock-free reads are
+// sound; in any mode it proves a reader can never observe a torn threshold
+// (a torn float64 would be garbage far outside the written set).
+func TestControlKnobsRaceWithIngestAndFailover(t *testing.T) {
+	inf := bootSmall(t)
+	inf.Control.Disable() // the test plays controller, with a known value set
+
+	isWritten := func(v float64) bool { return v == 0.25 || v == 0.5 || v == 0.75 }
+
+	var workers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Knob writers: flip every knob between known values.
+	for w := 0; w < 2; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			vals := []float64{0.25, 0.5, 0.75}
+			for i := 0; i < 150; i++ {
+				inf.Knobs.SetOffloadThreshold(vals[(i+w)%len(vals)])
+				inf.Knobs.SetInferenceTier(control.Tier((i + w) % 2))
+				inf.Knobs.SetShedLevel((i + w) % 3)
+			}
+		}(w)
+	}
+
+	// Reader: every observed threshold must be exactly one of the written
+	// values — a torn 64-bit read would produce an arbitrary float.
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v := inf.Knobs.OffloadThreshold(); !isWritten(v) {
+				t.Errorf("torn threshold read: %v", v)
+				return
+			}
+			if lvl := inf.Knobs.ShedLevel(); lvl < 0 || lvl > 2 {
+				t.Errorf("impossible shed level: %d", lvl)
+				return
+			}
+		}
+	}()
+
+	// Ingest loop: frames stream through whatever knob state is current.
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		for i := 0; i < 40; i++ {
+			frames := []FrameEvent{
+				{CameraID: "cam-a", Seq: i, Class: "vehicle", Confidence: 0.2, Priority: 0, RawBytes: 2048, FeatureBytes: 256},
+				{CameraID: "cam-b", Seq: i, Class: "person", Confidence: 0.9, Priority: 2, RawBytes: 2048, FeatureBytes: 256},
+			}
+			if _, err := inf.IngestFrames(frames, ""); err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Monitor ticks race the scrape (which reads the knob gauges) against
+	// the writers above.
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		for i := 0; i < 20; i++ {
+			inf.MonitorTick()
+		}
+	}()
+
+	// Broker chaos: kill and restart a node mid-ingest.
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		for i := 0; i < 4; i++ {
+			victim := i % inf.Broker.NodeCount()
+			if err := inf.Broker.CrashNode(victim); err != nil {
+				continue
+			}
+			inf.Broker.Tick() // elect replacements
+			if err := inf.Broker.RestartNode(victim); err != nil {
+				t.Errorf("restart node %d: %v", victim, err)
+				return
+			}
+		}
+	}()
+
+	workers.Wait()
+	close(stop)
+	reader.Wait()
+
+	if v := inf.Knobs.OffloadThreshold(); !isWritten(v) {
+		t.Fatalf("final threshold %v not in written set", v)
+	}
+}

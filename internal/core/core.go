@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/citydata"
+	"repro/internal/control"
 	"repro/internal/dataproc"
 	"repro/internal/docstore"
 	"repro/internal/faults"
@@ -56,6 +57,10 @@ type Config struct {
 	// these nodes. 0 defaults to max(Replication, 1) — the smallest cluster
 	// that can host every replica.
 	BrokerNodes int
+	// OffloadThreshold is the initial fog early-exit confidence gate —
+	// frames below it offload feature maps upstream. It seeds the live knob
+	// the adaptive controller owns; 0 defaults to 0.5.
+	OffloadThreshold float64
 	// Hardware layer (fog tiers).
 	Fog fog.DeploymentConfig
 	// Data layer.
@@ -72,10 +77,11 @@ func DefaultConfig() Config {
 		DataNodes: 4, BlockSize: 64 * 1024, Replication: 3,
 		ComputeNodes: 4, CoresPerNode: 4, MemPerNodeMB: 8192,
 		Parallelism: 4, TopicPartitions: 4, BrokerNodes: 3,
-		Fog:     fog.DefaultDeploymentConfig(),
-		Cameras: 220,
-		Gang:    socialgraph.PaperConfig(),
-		Epoch:   time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC),
+		OffloadThreshold: 0.5,
+		Fog:              fog.DefaultDeploymentConfig(),
+		Cameras:          220,
+		Gang:             socialgraph.PaperConfig(),
+		Epoch:            time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC),
 	}
 }
 
@@ -131,6 +137,13 @@ type Infrastructure struct {
 	Alerts         *tsdb.Engine
 	ScrapeInterval time.Duration
 
+	// Control layer: the closed-loop adaptive controller and the live knobs
+	// it owns. Knobs is read lock-free by the frame hot path (offload
+	// threshold, inference tier, shed level); Control runs one decision
+	// cycle per MonitorTick after the alert evaluation.
+	Knobs   *control.Knobs
+	Control *control.Controller
+
 	// Profiling layer: the always-on continuous profiler every tier reports
 	// into. MonitorTick closes one attribution window per tick; /api/profile
 	// and the watch dashboard read its hot-region rankings.
@@ -145,6 +158,7 @@ type Infrastructure struct {
 	failoverSeconds *telemetry.Histogram
 	pipeCollected, pipeStreamed, pipeStored,
 	pipeDropped, pipeDeadLettered, pipeRetries *telemetry.Counter
+	framesShed *telemetry.Counter
 
 	// Hardware layer.
 	Deployment *fog.Deployment
@@ -262,6 +276,10 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 
 	// Profiling layer: needs every instrumented component above to exist.
 	inf.wireProfiler()
+
+	// Control layer: wires the controller's signals over the monitoring,
+	// SLO, and profiling layers, so it must come last.
+	inf.wireControl()
 
 	// Data layer.
 	inf.Cameras, err = citydata.CameraNetwork(cfg.Cameras, rng)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/telemetry"
 )
 
@@ -19,16 +20,25 @@ type FrameEvent struct {
 	Confidence   float64 `json:"confidence"`   // local model's confidence in [0,1]
 	RawBytes     int     `json:"rawBytes"`     // raw frame size
 	FeatureBytes int     `json:"featureBytes"` // intermediate feature-map size
+	// Priority orders streams for load shedding: when the controller raises
+	// the shed level, frames with Priority below it are dropped at admission
+	// (lowest priority first). Zero is the lowest priority.
+	Priority int `json:"priority"`
 }
 
 // FrameStats is the frame pipeline's accounting: the usual Fig. 4 counters
-// plus the early-exit split and the per-frame trace ids, so callers can walk
-// each frame's causal tree across all four tiers.
+// plus the early-exit split, the shedding count, and the per-frame trace
+// ids, so callers can walk each frame's causal tree across all four tiers.
 type FrameStats struct {
 	PipelineStats
 	Offloaded  int // frames below threshold whose feature maps went upstream
 	LocalExits int // frames the fog tier classified confidently
-	TraceIDs   []string
+	// Shed counts frames dropped at admission by the controller's shedding
+	// floor. Shed frames never enter the pipeline: no trace, no Collected,
+	// no SLO burn — shedding is an explicit, accounted-for policy decision,
+	// not a delivery failure.
+	Shed     int
+	TraceIDs []string
 }
 
 // inferenceGroup is the broker consumer group used by the analysis servers.
@@ -40,10 +50,20 @@ const inferenceGroup = "inference-tier"
 // every hop — the gate injects the root context into the record headers, and
 // the server side continues that trace from the polled record — so the whole
 // offload boundary collapses into a single causal tree.
-func (inf *Infrastructure) IngestFrames(frames []FrameEvent, threshold float64, archiveDir string) (FrameStats, error) {
+//
+// The gate's confidence threshold, the inference tier, and the shedding
+// floor are read from the live controller-owned knobs (inf.Knobs), so the
+// adaptive controller — or a test — can retune the pipeline between (or
+// during) calls without any call-site plumbing.
+func (inf *Infrastructure) IngestFrames(frames []FrameEvent, archiveDir string) (FrameStats, error) {
 	var out FrameStats
 	for _, f := range frames {
-		ps, traceID, offloaded, err := inf.ingestFrame(f, threshold, archiveDir)
+		if shedFloor := inf.Knobs.ShedLevel(); shedFloor > 0 && f.Priority < shedFloor {
+			out.Shed++
+			inf.framesShed.Add(1)
+			continue
+		}
+		ps, traceID, offloaded, err := inf.ingestFrame(f, archiveDir)
 		out.Collected += ps.Collected
 		out.Streamed += ps.Streamed
 		out.Stored += ps.Stored
@@ -64,7 +84,9 @@ func (inf *Infrastructure) IngestFrames(frames []FrameEvent, threshold float64, 
 }
 
 // ingestFrame pushes one frame through all four tiers under a single trace.
-func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveDir string) (stats PipelineStats, traceID string, offload bool, err error) {
+func (inf *Infrastructure) ingestFrame(f FrameEvent, archiveDir string) (stats PipelineStats, traceID string, offload bool, err error) {
+	threshold := inf.Knobs.OffloadThreshold()
+	tier := inf.Knobs.InferenceTier()
 	stats = PipelineStats{Collected: 1}
 	start := time.Now()
 	root := inf.traceIngest("ingest-frame")
@@ -103,6 +125,21 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveD
 	pg.End()
 	spGate.End()
 
+	// Fog-local inference: when the controller has migrated inference off
+	// the analysis tier (broker uplink stressed, servers hot), the fog node
+	// runs the remaining layers itself and writes the annotation straight
+	// through — no broker hop, no feature-map archive, the same trade
+	// EdgeLens makes when relocating the detection service down-tier.
+	if tier == control.TierFog {
+		spFog := root.Child("fog-inference")
+		spFog.SetTier("fog")
+		pinf := inf.profInference.Start()
+		inf.archiveFrame(spFog, f, body, false, "", rootCtx.TraceID, &stats)
+		pinf.End()
+		spFog.End()
+		return stats, traceID, offload, nil
+	}
+
 	spProduce := root.Child("offload-produce")
 	spProduce.SetTier("fog")
 	pst := inf.profStream.Start()
@@ -129,7 +166,14 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, threshold float64, archiveD
 			stats.Retries += cs.Retries
 		}
 		if perr != nil {
-			return stats, traceID, offload, fmt.Errorf("poll frames: %w", perr)
+			// Exhausted redrives mean the broker is partitioned, not that
+			// records were lost: nothing was committed, so the at-least-once
+			// drain picks the backlog up on a later frame's loop. Defer
+			// instead of failing the whole batch — the controller reacts to
+			// the produce-error metrics this partition also generates.
+			inf.Events.Log(telemetry.LevelWarn, "frames", rootCtx.TraceID,
+				"inference drain deferred: %v", perr)
+			break
 		}
 		if len(recs) == 0 {
 			break
@@ -169,10 +213,16 @@ func (inf *Infrastructure) serveFrame(headers map[string]string, key string, val
 		return
 	}
 	offloaded := headers["offload"] == "true"
+	inf.archiveFrame(spInfer, f, value, offloaded, archiveDir, ctx.TraceID, stats)
+}
 
-	// Cloud tier: annotation row for random access, feature map for the
-	// batch/training path.
-	spArchive := spInfer.Child("archive")
+// archiveFrame is the cloud-tier archive shared by both inference homes:
+// the annotation row for random access and — for offloaded frames with an
+// archive directory — the feature map for the batch/training path. parent
+// anchors the archive span ("inference" on the server path, "fog-inference"
+// on the fog-local path).
+func (inf *Infrastructure) archiveFrame(parent *telemetry.Span, f FrameEvent, value []byte, offloaded bool, archiveDir, traceID string, stats *PipelineStats) {
+	spArchive := parent.Child("archive")
 	spArchive.SetTier("cloud")
 	defer spArchive.End()
 	row := fmt.Sprintf("%s|%06d", f.CameraID, f.Seq)
@@ -187,12 +237,12 @@ func (inf *Infrastructure) serveFrame(headers map[string]string, key string, val
 		return err
 	}
 	if err := putCell("det", "class", []byte(f.Class)); err != nil {
-		inf.deadLetter(stats, "frames", "hbase", row, value, err, ctx.TraceID)
+		inf.deadLetter(stats, "frames", "hbase", row, value, err, traceID)
 		return
 	}
 	stats.Stored++
 	if err := putCell("det", "confidence", []byte(strconv.FormatFloat(f.Confidence, 'f', 4, 64))); err != nil {
-		inf.deadLetter(stats, "frames", "hbase", row, value, err, ctx.TraceID)
+		inf.deadLetter(stats, "frames", "hbase", row, value, err, traceID)
 		return
 	}
 	stats.Stored++
@@ -201,7 +251,7 @@ func (inf *Infrastructure) serveFrame(headers map[string]string, key string, val
 		cs, err := inf.Retry.DoStats(func() error { return inf.HDFS.Write(path, value) })
 		stats.Retries += cs.Retries
 		if err != nil {
-			inf.deadLetter(stats, "frames", "hdfs", path, value, err, ctx.TraceID)
+			inf.deadLetter(stats, "frames", "hdfs", path, value, err, traceID)
 			return
 		}
 		stats.Stored++

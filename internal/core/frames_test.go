@@ -53,7 +53,7 @@ func TestFramePipelineSingleTraceAcrossTiers(t *testing.T) {
 		CameraID: "cam-1", Seq: 7, Class: "truck", Confidence: 0.2,
 		RawBytes: 30000, FeatureBytes: 6000,
 	}
-	stats, err := inf.IngestFrames([]FrameEvent{f}, 0.5, "/warehouse/feat")
+	stats, err := inf.IngestFrames([]FrameEvent{f}, "/warehouse/feat")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestFramePipelineSingleTraceAcrossTiers(t *testing.T) {
 func TestFrameLocalExitSkipsFeatureArchive(t *testing.T) {
 	inf := bootSmall(t)
 	f := FrameEvent{CameraID: "cam-2", Seq: 1, Class: "sedan", Confidence: 0.9}
-	stats, err := inf.IngestFrames([]FrameEvent{f}, 0.5, "/warehouse/feat")
+	stats, err := inf.IngestFrames([]FrameEvent{f}, "/warehouse/feat")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestPoisonedFrameKeepsItsOwnTrace(t *testing.T) {
 	root.End()
 
 	good := FrameEvent{CameraID: "cam-3", Seq: 2, Class: "bus", Confidence: 0.1}
-	stats, err := inf.IngestFrames([]FrameEvent{good}, 0.5, "")
+	stats, err := inf.IngestFrames([]FrameEvent{good}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestFrameTracesSurviveChaos(t *testing.T) {
 			Class: "suv", Confidence: rng.Float64(),
 		}
 	}
-	stats, err := inf.IngestFrames(frames, 0.5, "/warehouse/chaos-feat")
+	stats, err := inf.IngestFrames(frames, "/warehouse/chaos-feat")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,6 +62,22 @@ func DefaultAlertRules() []tsdb.Rule {
 			Op: tsdb.CmpGT, Threshold: 0.05,
 			AndConditions: true,
 		},
+		{
+			// Mitigation visibility: the adaptive controller dropping camera
+			// streams is an operator-facing event even though the pipeline
+			// itself looks healthier for it. The controller never watches
+			// control-* rules (see controlWatchRules) — this is a page, not
+			// a feedback input.
+			Name: "control-load-shedding", Severity: telemetry.LevelWarn,
+			Expr: "cityinfra_control_shed_level",
+			Op:   tsdb.CmpGT, Threshold: 0,
+		},
+		{
+			// Tier gauge: 1 = server (default home), 0 = fog-local.
+			Name: "control-inference-migrated", Severity: telemetry.LevelWarn,
+			Expr: "cityinfra_control_inference_tier",
+			Op:   tsdb.CmpLT, Threshold: 0.5,
+		},
 	}
 }
 
@@ -96,8 +112,9 @@ func (inf *Infrastructure) wireMonitor() error {
 // simulated clock by ScrapeInterval, run the broker cluster's controller
 // pass (leader elections, follower catch-up — so failover latency is
 // measured in these same ticks), scrape the registry into the time-series
-// store, and evaluate every alert rule against the new history. Experiments
-// and the -watch dashboard call it once per frame; nothing in it sleeps.
+// store, evaluate every alert rule against the new history, and let the
+// adaptive controller act on the fresh verdicts. Experiments and the -watch
+// dashboard call it once per frame; nothing in it sleeps.
 func (inf *Infrastructure) MonitorTick() {
 	inf.Clock.Advance(inf.ScrapeInterval)
 	inf.Broker.Tick()
@@ -106,4 +123,7 @@ func (inf *Infrastructure) MonitorTick() {
 	inf.Profiler.Tick()
 	inf.TSDB.Scrape()
 	inf.Alerts.Eval()
+	// The controller runs last so its signals — alert states, the scrape it
+	// queries, the profile window — are all from this tick.
+	inf.Control.Tick()
 }

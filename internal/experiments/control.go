@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fog"
+	"repro/internal/rl"
+	"repro/internal/viz"
+)
+
+// e24Phase is one segment of the shared fault schedule both arms replay:
+// a hard partition (every call to the targeted op prefixes fails) held for
+// a fixed number of monitor ticks.
+type e24Phase struct {
+	name  string
+	ticks int
+	ops   []string // TargetOps prefixes; nil = no chaos
+}
+
+// e24Phases walks the controller through its full mitigation repertoire:
+// storage faults that should tighten the offload gate, an uplink partition
+// that should migrate inference down-tier, annotation-store faults that
+// should shed low-priority streams, then a long clean window in which every
+// knob must unwind back to its default.
+var e24Phases = []e24Phase{
+	{"warmup", 5, nil},
+	{"hdfs-partition", 7, []string{"hdfs."}},
+	{"bus-partition", 7, []string{"bus."}},
+	{"hbase-partition", 7, []string{"hbase."}},
+	{"recovery", 24, nil},
+}
+
+// e24FramesPerTick is the fixed per-tick camera load.
+const e24FramesPerTick = 24
+
+// e24Schedule pre-generates the identical frame workload both arms ingest:
+// eight cameras round-robin, priorities striped 0/1/2, confidences drawn
+// once so the early-exit mix is byte-identical across arms.
+func e24Schedule(seed int64) [][]core.FrameEvent {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for _, ph := range e24Phases {
+		total += ph.ticks
+	}
+	classes := []string{"vehicle", "person", "bag"}
+	sched := make([][]core.FrameEvent, total)
+	for t := range sched {
+		batch := make([]core.FrameEvent, e24FramesPerTick)
+		for i := range batch {
+			batch[i] = core.FrameEvent{
+				CameraID:     fmt.Sprintf("cam-%02d", i%8),
+				Seq:          t*e24FramesPerTick + i,
+				Class:        classes[i%len(classes)],
+				Confidence:   rng.Float64(),
+				Priority:     i % 3,
+				RawBytes:     2048,
+				FeatureBytes: 256,
+			}
+		}
+		sched[t] = batch
+	}
+	return sched
+}
+
+// e24ArmResult is one arm's accounting over the shared schedule.
+type e24ArmResult struct {
+	inf          *core.Infrastructure
+	totalUndeliv float64
+	burnSum      float64 // per-tick max SLO burn, summed — cumulative badness
+	collected    int
+	stored       int
+	shed         int
+	offloaded    int
+	localExits   int
+	phaseUndeliv map[string]float64
+	firstAct     map[string]int // phase → ticks until first controller action (0 = none)
+	timeline     *viz.Table     // only filled for the controlled arm
+}
+
+// e24RunArm replays the shared schedule through a fresh stack. controlled
+// selects whether the closed loop is live or held disabled (the static
+// baseline the paper's fixed-threshold deployment corresponds to).
+func e24RunArm(seed int64, sched [][]core.FrameEvent, controlled bool) (*e24ArmResult, error) {
+	cfg := chaosConfig()
+	inf, err := core.New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	if !controlled {
+		inf.Control.Disable()
+	}
+	arm := &e24ArmResult{
+		inf:          inf,
+		phaseUndeliv: map[string]float64{},
+		firstAct:     map[string]int{},
+	}
+	if controlled {
+		arm.timeline = viz.NewTable("controlled arm — ticks where the loop acted",
+			"tick", "phase", "undelivered", "threshold", "tier", "shed", "action")
+	}
+
+	tickNo := 0
+	for _, ph := range e24Phases {
+		if ph.ops != nil {
+			inf.EnableChaos(faults.NewInjector(faults.Config{
+				Seed: seed, BlackoutEvery: 1, BlackoutLen: 1, TargetOps: ph.ops,
+			}))
+		} else {
+			inf.DisableChaos()
+		}
+		phaseStartUndeliv := regValue(inf, "cityinfra_pipeline_undelivered_total")
+		actionsBefore := inf.Control.TotalActions()
+		first := 0
+		for i := 1; i <= ph.ticks; i++ {
+			tickNo++
+			st, err := inf.IngestFrames(sched[tickNo-1], "/warehouse/frames")
+			if err != nil {
+				return nil, fmt.Errorf("tick %d (%s): %w", tickNo, ph.name, err)
+			}
+			arm.collected += st.Collected
+			arm.stored += st.Stored
+			arm.shed += st.Shed
+			arm.offloaded += st.Offloaded
+			arm.localExits += st.LocalExits
+			inf.MonitorTick()
+			arm.burnSum += inf.SLOs.MaxBurn()
+			if first == 0 && inf.Control.TotalActions() > actionsBefore {
+				first = i
+			}
+			if arm.timeline != nil {
+				if acts := inf.Control.Actions(1); len(acts) == 1 && acts[0].Tick == tickNo {
+					a := acts[0]
+					arm.timeline.AddRow(tickNo, ph.name,
+						regValue(inf, "cityinfra_pipeline_undelivered_total"),
+						fmt.Sprintf("%.2f", inf.Knobs.OffloadThreshold()),
+						inf.Knobs.InferenceTier().String(), inf.Knobs.ShedLevel(),
+						fmt.Sprintf("%s (%s)", a.Kind, a.Reason))
+				}
+			}
+		}
+		arm.firstAct[ph.name] = first
+		arm.phaseUndeliv[ph.name] = regValue(inf, "cityinfra_pipeline_undelivered_total") - phaseStartUndeliv
+	}
+	arm.totalUndeliv = regValue(inf, "cityinfra_pipeline_undelivered_total")
+	return arm, nil
+}
+
+// E24AdaptiveControl runs the closed-loop controller head to head against a
+// static baseline over an identical deterministic fault schedule: the same
+// frames, the same partitions, the same clock. The controlled arm must react
+// to each induced failure mode within three monitor ticks with the matching
+// mitigation — gate tightening under storage faults, fog migration under an
+// uplink partition, load shedding when the annotation store dies — must
+// unwind every knob during the clean tail, and must land strictly less
+// cumulative damage (undelivered records, summed SLO burn) than the
+// baseline. A side table compares the rule-based policy against a DQN
+// trained on the fog offload simulator.
+func E24AdaptiveControl(rng *rand.Rand) (*Result, error) {
+	seed := rng.Int63()
+	sched := e24Schedule(seed + 1)
+
+	baseline, err := e24RunArm(seed, sched, false)
+	if err != nil {
+		return nil, fmt.Errorf("E24 baseline arm: %w", err)
+	}
+	controlled, err := e24RunArm(seed, sched, true)
+	if err != nil {
+		return nil, fmt.Errorf("E24 controlled arm: %w", err)
+	}
+
+	// The baseline arm must never act; the controlled arm must stay quiet
+	// through the clean warmup.
+	if n := baseline.inf.Control.TotalActions(); n != 0 {
+		return nil, fmt.Errorf("E24: disabled baseline took %d actions", n)
+	}
+	if controlled.firstAct["warmup"] != 0 {
+		return nil, fmt.Errorf("E24: controller acted during clean warmup (tick %d)",
+			controlled.firstAct["warmup"])
+	}
+	// Every chaos phase must draw a reaction within three monitor ticks.
+	for _, ph := range e24Phases {
+		if ph.ops == nil {
+			continue
+		}
+		f := controlled.firstAct[ph.name]
+		if f == 0 || f > 3 {
+			return nil, fmt.Errorf("E24: first action in %s at tick %d, want within 3", ph.name, f)
+		}
+	}
+	// The mitigations must match the failure modes.
+	ctl := controlled.inf.Control
+	if ctl.ActionCount(control.ActionThresholdLower) == 0 {
+		return nil, fmt.Errorf("E24: storage partition never tightened the offload gate")
+	}
+	if ctl.ActionCount(control.ActionMigrateFog) == 0 {
+		return nil, fmt.Errorf("E24: uplink partition never migrated inference to fog")
+	}
+	if ctl.ActionCount(control.ActionShed) == 0 || controlled.shed == 0 {
+		return nil, fmt.Errorf("E24: annotation-store partition never shed load (shed=%d)", controlled.shed)
+	}
+	// The clean tail must fully unwind the knobs.
+	k := controlled.inf.Knobs
+	if k.OffloadThreshold() != 0.5 || k.InferenceTier() != control.TierServer || k.ShedLevel() != 0 {
+		return nil, fmt.Errorf("E24: knobs not restored after recovery: threshold=%.2f tier=%s shed=%d",
+			k.OffloadThreshold(), k.InferenceTier(), k.ShedLevel())
+	}
+	if ctl.Degraded() {
+		return nil, fmt.Errorf("E24: controller still degraded after %d clean recovery ticks",
+			e24Phases[len(e24Phases)-1].ticks)
+	}
+	// And the whole point: strictly less cumulative damage than doing nothing.
+	if controlled.totalUndeliv >= baseline.totalUndeliv {
+		return nil, fmt.Errorf("E24: controlled arm undelivered %.0f >= baseline %.0f",
+			controlled.totalUndeliv, baseline.totalUndeliv)
+	}
+	if controlled.burnSum >= baseline.burnSum {
+		return nil, fmt.Errorf("E24: controlled arm burn sum %.2f >= baseline %.2f",
+			controlled.burnSum, baseline.burnSum)
+	}
+
+	phases := viz.NewTable("per-phase undelivered records (identical schedule, same seed)",
+		"phase", "ticks", "baseline", "controlled", "first action tick")
+	for _, ph := range e24Phases {
+		firstCell := "-"
+		if f := controlled.firstAct[ph.name]; f > 0 {
+			firstCell = fmt.Sprintf("%d", f)
+		}
+		phases.AddRow(ph.name, ph.ticks, baseline.phaseUndeliv[ph.name],
+			controlled.phaseUndeliv[ph.name], firstCell)
+	}
+
+	totals := viz.NewTable("arm totals", "metric", "baseline (static)", "controlled (closed loop)")
+	totals.AddRow("frames offered", baseline.collected+baseline.shed, controlled.collected+controlled.shed)
+	totals.AddRow("frames shed (policy)", baseline.shed, controlled.shed)
+	totals.AddRow("undelivered (failures)", baseline.totalUndeliv, controlled.totalUndeliv)
+	totals.AddRow("stored cells", baseline.stored, controlled.stored)
+	totals.AddRow("offloaded / local exits",
+		fmt.Sprintf("%d / %d", baseline.offloaded, baseline.localExits),
+		fmt.Sprintf("%d / %d", controlled.offloaded, controlled.localExits))
+	totals.AddRow("cumulative SLO burn (sum of per-tick max)",
+		fmt.Sprintf("%.2f", baseline.burnSum), fmt.Sprintf("%.2f", controlled.burnSum))
+	totals.AddRow("controller actions", baseline.inf.Control.TotalActions(), controlled.inf.Control.TotalActions())
+
+	// Policy comparison on the offload simulator: the same knob the live
+	// loop tunes, exercised by a trained DQN against random and frozen
+	// baselines. Informational — the deployed controller stays rule-based.
+	rlTable, rlNote, err := e24PolicyComparison(seed)
+	if err != nil {
+		return nil, err
+	}
+
+	improvement := 100 * (1 - controlled.totalUndeliv/baseline.totalUndeliv)
+	return &Result{
+		ID: "E24", Title: "closed-loop adaptive control vs static baseline under phased partitions",
+		Tables: []*viz.Table{phases, totals, controlled.timeline, rlTable},
+		Notes: []string{
+			fmt.Sprintf("the closed loop cut undelivered records %.0f → %.0f (%.0f%%) over the identical fault schedule, trading %d shed low-priority frames for it",
+				baseline.totalUndeliv, controlled.totalUndeliv, improvement, controlled.shed),
+			fmt.Sprintf("every induced failure mode drew its matching mitigation within 3 monitor ticks: gate tightening (hdfs, tick %d), fog migration (bus, tick %d), load shedding (hbase, tick %d)",
+				controlled.firstAct["hdfs-partition"], controlled.firstAct["bus-partition"], controlled.firstAct["hbase-partition"]),
+			"recovery is symmetric: after the faults clear, the healthy streak unwinds shed → tier → threshold one cooldown apart, and the run ends with every knob at its default",
+			rlNote,
+		},
+	}, nil
+}
+
+// e24PolicyComparison trains a small DQN on the offload-threshold simulator
+// and scores it against random and frozen-threshold policies.
+func e24PolicyComparison(seed int64) (*viz.Table, string, error) {
+	d, err := fog.BuildDeployment(fog.DefaultDeploymentConfig())
+	if err != nil {
+		return nil, "", err
+	}
+	env, err := control.NewOffloadEnv(d, control.DefaultOffloadEnvConfig())
+	if err != nil {
+		return nil, "", err
+	}
+	trainRng := rand.New(rand.NewSource(seed))
+	agent, err := rl.NewDQN(env.StateDim(), env.NumActions(), rl.DefaultDQNConfig(), trainRng)
+	if err != nil {
+		return nil, "", err
+	}
+	tcfg := rl.DefaultTrainConfig()
+	tcfg.Episodes = 30
+	tcfg.StepsPerEp = control.DefaultOffloadEnvConfig().MaxSteps
+	if _, err := rl.Train(agent, env, tcfg, trainRng); err != nil {
+		return nil, "", err
+	}
+	evalRng := rand.New(rand.NewSource(seed + 1))
+	const eps = 20
+	steps := control.DefaultOffloadEnvConfig().MaxSteps
+	dqn := rl.EvaluatePolicy(env, eps, steps, rl.GreedyPolicy(agent), evalRng)
+	random := rl.EvaluatePolicy(env, eps, steps, rl.RandomPolicy(env.NumActions()), evalRng)
+	frozen := rl.EvaluatePolicy(env, eps, steps, rl.StaticPolicy(control.ActHold), evalRng)
+
+	tb := viz.NewTable("offload-threshold policies on the fog simulator (mean episode reward; higher = lower p95 + fewer risky local exits)",
+		"policy", "reward")
+	tb.AddRow("DQN (trained)", fmt.Sprintf("%.3f", dqn))
+	tb.AddRow("random walk", fmt.Sprintf("%.3f", random))
+	tb.AddRow("frozen threshold", fmt.Sprintf("%.3f", frozen))
+	note := fmt.Sprintf("on the offload simulator the trained DQN scores %.3f vs %.3f random / %.3f frozen — the same latency-vs-accuracy trade the rule-based loop makes, learnable end to end",
+		dqn, random, frozen)
+	return tb, note, nil
+}

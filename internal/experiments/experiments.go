@@ -70,6 +70,7 @@ var registry = []registration{
 	{"E21", "observability — metrics TSDB, windowed queries, alert lifecycle", E21MetricsMonitor},
 	{"E22", "robustness — replicated broker: leader kill, ISR election, zero acked loss", E22ClusterFailover},
 	{"E23", "observability — continuous profiling: hot regions, overhead budget, burn localization", E23Profile},
+	{"E24", "autonomy — closed-loop adaptive control vs static baseline under phased partitions", E24AdaptiveControl},
 }
 
 // IDs lists experiment ids in order.

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 {
-		t.Fatalf("registry has %d experiments, want 23 (E1..E23)", len(ids))
+	if len(ids) != 24 {
+		t.Fatalf("registry has %d experiments, want 24 (E1..E24)", len(ids))
 	}
 	titles := Titles()
 	for _, id := range ids {
@@ -207,6 +207,24 @@ func TestE23(t *testing.T) {
 	for _, want := range []string{"warmup", "burn", "ingest/store", "firing", "overhead"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("E23 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE24(t *testing.T) {
+	res := runAndCheck(t, "E24")
+	// The runner enforces the hard claims internally: every chaos phase
+	// draws its matching mitigation within 3 monitor ticks, the clean tail
+	// restores every knob, and the controlled arm lands strictly less
+	// cumulative damage than the static baseline. Check the rendered output
+	// names all three mitigations and both arms.
+	out := res.String()
+	for _, want := range []string{
+		"threshold-lower", "migrate-fog", "shed", "threshold-raise",
+		"baseline", "controlled", "hdfs-partition", "bus-partition", "hbase-partition",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E24 output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -80,7 +80,7 @@ func E20TracedChaosSweep(rng *rand.Rand) (*Result, error) {
 
 	// Baseline arm: clean pass, exact attribution from propagated traces.
 	const batch = 40
-	base, err := inf.IngestFrames(e20Frames(batch, 0, frameRng), 0.5, "/warehouse/e20/features")
+	base, err := inf.IngestFrames(e20Frames(batch, 0, frameRng), "/warehouse/e20/features")
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ func E20TracedChaosSweep(rng *rand.Rand) (*Result, error) {
 	inf.EnableChaos(faults.NewInjector(faults.Config{
 		Seed: seed, ErrorRate: 0.15, BurstLen: 2,
 	}))
-	chaos, err := inf.IngestFrames(e20Frames(batch, batch, frameRng), 0.5, "/warehouse/e20/features")
+	chaos, err := inf.IngestFrames(e20Frames(batch, batch, frameRng), "/warehouse/e20/features")
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,6 +49,11 @@ type Config struct {
 	BlackoutEvery int
 	// BlackoutLen is the length of each blackout window in calls.
 	BlackoutLen int
+	// TargetOps restricts error, burst, blackout, and latency injection to
+	// operations whose name starts with one of these prefixes (e.g. "bus."
+	// partitions only the broker while storage stays healthy). Empty means
+	// every op. CPU burns keep their own BurnOp targeting.
+	TargetOps []string
 	// BurnOp names the single operation whose calls burn real CPU for
 	// BurnMs wall-clock milliseconds each ("" burns every op). Unlike
 	// LatencySpikeMs — bookkeeping on the simulated clock — a burn
@@ -145,6 +151,13 @@ func (in *Injector) decideLocked(op string, rng *rand.Rand) Fault {
 		st.BurnMs += burn
 	}
 
+	// Untargeted ops stay fault-free and draw nothing from the random
+	// stream; their call counters still advance so blackout phase survives
+	// retargeting.
+	if !in.targeted(op) {
+		return Fault{BurnMs: burn}
+	}
+
 	if in.cfg.BlackoutEvery > 0 && st.Calls%in.cfg.BlackoutEvery == 0 {
 		in.blackoutLeft[op] = in.cfg.BlackoutLen
 	}
@@ -171,6 +184,19 @@ func (in *Injector) decideLocked(op string, rng *rand.Rand) Fault {
 		st.LatencyMs += f.LatencyMs
 	}
 	return f
+}
+
+// targeted reports whether op falls under the TargetOps prefix filter.
+func (in *Injector) targeted(op string) bool {
+	if len(in.cfg.TargetOps) == 0 {
+		return true
+	}
+	for _, prefix := range in.cfg.TargetOps {
+		if strings.HasPrefix(op, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats returns a snapshot of per-op counters.

@@ -197,3 +197,64 @@ func TestBurnAllOps(t *testing.T) {
 		t.Fatalf("totals = %+v", tot)
 	}
 }
+
+func TestTargetOpsScopeInjection(t *testing.T) {
+	// A hard partition targeted at bus.* must fail every bus call and none
+	// of the storage calls, regardless of rates.
+	cfg := Config{
+		Seed: 3, ErrorRate: 1, BlackoutEvery: 1, BlackoutLen: 1,
+		LatencyRate: 1, LatencySpikeMs: 10,
+		TargetOps: []string{"bus."},
+	}
+	inj := NewInjector(cfg)
+	for i := 0; i < 50; i++ {
+		if f := inj.Decide("bus.produce"); f.Err == nil {
+			t.Fatalf("call %d: targeted op escaped the partition", i)
+		}
+		if f := inj.Decide("hdfs.write"); f.Err != nil || f.LatencyMs != 0 {
+			t.Fatalf("call %d: untargeted op injected: %+v", i, f)
+		}
+		if f := inj.Decide("hbase.wal"); f.Err != nil {
+			t.Fatalf("call %d: untargeted op injected: %+v", i, f)
+		}
+	}
+	st := inj.Stats()
+	if st["bus.produce"].Errors != 50 || st["hdfs.write"].Errors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Untargeted ops still count calls, so blackout phase survives
+	// retargeting.
+	if st["hdfs.write"].Calls != 50 {
+		t.Fatalf("untargeted calls = %d, want 50", st["hdfs.write"].Calls)
+	}
+}
+
+func TestTargetOpsPrefixMatch(t *testing.T) {
+	cfg := Config{Seed: 5, ErrorRate: 1, TargetOps: []string{"hdfs.", "cluster.replicate"}}
+	inj := NewInjector(cfg)
+	cases := []struct {
+		op   string
+		want bool
+	}{
+		{"hdfs.write", true},
+		{"hdfs.read", true},
+		{"cluster.replicate", true},
+		{"cluster.catchup", false},
+		{"bus.produce", false},
+		{"store.insert", false},
+	}
+	for _, c := range cases {
+		got := inj.Decide(c.op).Err != nil
+		if got != c.want {
+			t.Errorf("%s: injected=%v, want %v", c.op, got, c.want)
+		}
+	}
+	// Burns keep their own BurnOp targeting, independent of TargetOps.
+	binj := NewInjector(Config{Seed: 6, BurnMs: 0.01, BurnOp: "bus.poll", TargetOps: []string{"hdfs."}})
+	if f := binj.Decide("bus.poll"); f.BurnMs == 0 {
+		t.Error("BurnOp ignored under TargetOps")
+	}
+	if f := binj.Decide("hdfs.write"); f.BurnMs != 0 {
+		t.Error("burn leaked past BurnOp")
+	}
+}

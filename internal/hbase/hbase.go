@@ -241,6 +241,9 @@ func (t *Table) flushLocked() error {
 	if t.memCount == 0 {
 		return nil
 	}
+	if err := t.faultLocked("flush"); err != nil {
+		return fmt.Errorf("flush %s: %w", t.name, err)
+	}
 	sp := t.profFlush.Start()
 	defer sp.End()
 	cells := make([]Cell, 0, t.memCount)
@@ -268,21 +271,52 @@ func (t *Table) flushLocked() error {
 	return nil
 }
 
-func sortCells(cells []Cell) {
-	sort.SliceStable(cells, func(i, j int) bool {
-		ki := cellKey(cells[i].Row, cells[i].Family, cells[i].Qualifier)
-		kj := cellKey(cells[j].Row, cells[j].Family, cells[j].Qualifier)
-		if ki != kj {
-			return ki < kj
-		}
-		return cells[i].Timestamp > cells[j].Timestamp
-	})
+// cellOrder sorts an index permutation over a cell slice by (row, family,
+// qualifier) ascending with newest timestamp first within a key — the same
+// order cellKey's \x00-separated concatenation yields, but compared field
+// by field with no per-comparison allocation, and swapping ints instead of
+// multi-word Cell structs. Flush runs this on every memstore spill (and
+// re-runs it per retried put while the backing store is partitioned), so
+// the sort is on the ingest hot path.
+type cellOrder struct {
+	cells []Cell
+	idx   []int
 }
 
-func (t *Table) persistStoreFile(cells []Cell) (*storeFile, error) {
-	if err := t.faultLocked("flush"); err != nil {
-		return nil, err
+func (c cellOrder) Len() int      { return len(c.idx) }
+func (c cellOrder) Swap(i, j int) { c.idx[i], c.idx[j] = c.idx[j], c.idx[i] }
+func (c cellOrder) Less(i, j int) bool {
+	a, b := &c.cells[c.idx[i]], &c.cells[c.idx[j]]
+	if a.Row != b.Row {
+		return a.Row < b.Row
 	}
+	if a.Family != b.Family {
+		return a.Family < b.Family
+	}
+	if a.Qualifier != b.Qualifier {
+		return a.Qualifier < b.Qualifier
+	}
+	return a.Timestamp > b.Timestamp
+}
+
+func sortCells(cells []Cell) {
+	ord := cellOrder{cells: cells, idx: make([]int, len(cells))}
+	for i := range ord.idx {
+		ord.idx[i] = i
+	}
+	sort.Stable(ord)
+	sorted := make([]Cell, len(cells))
+	for i, j := range ord.idx {
+		sorted[i] = cells[j]
+	}
+	copy(cells, sorted)
+}
+
+// persistStoreFile writes one sorted run. The "flush" fault seam is drawn
+// by the callers before they build and sort the run, so a blacked-out
+// store fails fast instead of re-sorting a growing memstore on every
+// retried put.
+func (t *Table) persistStoreFile(cells []Cell) (*storeFile, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(cells); err != nil {
 		return nil, fmt.Errorf("encode storefile: %w", err)
@@ -309,6 +343,9 @@ func (t *Table) Compact() error {
 func (t *Table) compactLocked() error {
 	if len(t.files) <= 1 {
 		return nil
+	}
+	if err := t.faultLocked("flush"); err != nil {
+		return fmt.Errorf("compact %s: %w", t.name, err)
 	}
 	newest := make(map[string]Cell)
 	// files is newest-first; iterate oldest-first so newer versions win.

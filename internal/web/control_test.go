@@ -1,0 +1,106 @@
+package web
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// TestControlEndpoint exercises the adaptive-controller snapshot: knob
+// values reflect live state, per-kind counters are present for every
+// action kind, and ?limit= trims the action history newest-kept.
+func TestControlEndpoint(t *testing.T) {
+	srv, inf := newTestServer(t)
+
+	out := getJSON(t, srv.URL+"/api/control", http.StatusOK)
+	if out["enabled"] != true {
+		t.Fatalf("enabled = %v, want true", out["enabled"])
+	}
+	if got := out["offloadThreshold"].(float64); got != 0.5 {
+		t.Fatalf("offloadThreshold = %v, want default 0.5", got)
+	}
+	if got := out["inferenceTier"].(string); got != "server" {
+		t.Fatalf("inferenceTier = %q, want server", got)
+	}
+	if got := out["shedLevel"].(float64); got != 0 {
+		t.Fatalf("shedLevel = %v, want 0", got)
+	}
+	counts := out["actionCounts"].(map[string]any)
+	for _, kind := range control.ActionKinds() {
+		if _, ok := counts[string(kind)]; !ok {
+			t.Fatalf("actionCounts missing kind %q: %v", kind, counts)
+		}
+	}
+
+	// Move a knob out from under the handler: the snapshot must be live,
+	// not captured at server construction.
+	inf.Knobs.SetOffloadThreshold(0.3)
+	inf.Knobs.SetShedLevel(1)
+	inf.Knobs.SetInferenceTier(control.TierFog)
+	out = getJSON(t, srv.URL+"/api/control", http.StatusOK)
+	if got := out["offloadThreshold"].(float64); got != 0.3 {
+		t.Fatalf("offloadThreshold = %v, want 0.3", got)
+	}
+	if got := out["inferenceTier"].(string); got != "fog" {
+		t.Fatalf("inferenceTier = %q, want fog", got)
+	}
+	if got := out["shedLevel"].(float64); got != 1 {
+		t.Fatalf("shedLevel = %v, want 1", got)
+	}
+}
+
+// TestControlEndpointActionsAndLimit drives the controller through real
+// actions (via a degraded monitor loop) and checks history trimming.
+func TestControlEndpointActionsAndLimit(t *testing.T) {
+	srv, inf := newTestServer(t)
+
+	// Force a hard storage partition so undelivered records accumulate and
+	// the controller escalates across several monitor ticks.
+	inf.EnableChaos(faults.NewInjector(faults.Config{
+		Seed: 99, BlackoutEvery: 1, BlackoutLen: 1, TargetOps: []string{"hbase."},
+	}))
+	for i := 0; i < 12; i++ {
+		frames := []core.FrameEvent{
+			{CameraID: "cam-1", Seq: i, Class: "vehicle", Confidence: 0.9,
+				Priority: 2, RawBytes: 2048, FeatureBytes: 256},
+			{CameraID: "cam-2", Seq: i, Class: "person", Confidence: 0.2,
+				Priority: 0, RawBytes: 2048, FeatureBytes: 256},
+		}
+		if _, err := inf.IngestFrames(frames, "/warehouse/feat"); err != nil {
+			t.Fatal(err)
+		}
+		inf.MonitorTick()
+	}
+
+	out := getJSON(t, srv.URL+"/api/control", http.StatusOK)
+	actions := out["actions"].([]any)
+	if len(actions) < 2 {
+		t.Fatalf("expected multiple controller actions under sustained faults, got %d", len(actions))
+	}
+	first := actions[0].(map[string]any)
+	for _, key := range []string{"tick", "kind", "reason", "value"} {
+		if _, ok := first[key]; !ok {
+			t.Fatalf("action row missing %q: %v", key, first)
+		}
+	}
+	if out["degraded"] != true {
+		t.Fatalf("degraded = %v, want true under sustained faults", out["degraded"])
+	}
+
+	limited := getJSON(t, srv.URL+"/api/control?limit=1", http.StatusOK)
+	lacts := limited["actions"].([]any)
+	if len(lacts) != 1 {
+		t.Fatalf("limit=1 returned %d actions", len(lacts))
+	}
+	// Newest is kept: the single returned action matches the full list's tail.
+	last := actions[len(actions)-1].(map[string]any)
+	got := lacts[0].(map[string]any)
+	if got["tick"] != last["tick"] || got["kind"] != last["kind"] {
+		t.Fatalf("limit kept %v, want newest %v", got, last)
+	}
+
+	getJSON(t, srv.URL+"/api/control?limit=bogus", http.StatusBadRequest)
+}

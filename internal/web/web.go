@@ -53,6 +53,7 @@ func NewServer(inf *core.Infrastructure) *Server {
 	s.mux.HandleFunc("GET /api/series", s.handleSeries)
 	s.mux.HandleFunc("GET /api/alerting", s.handleAlerting)
 	s.mux.HandleFunc("GET /api/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /api/control", s.handleControl)
 	s.mux.HandleFunc("GET /api/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /api/profile/flame", s.handleProfileFlame)
 	s.registerRuntimeMetrics()
@@ -233,6 +234,22 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		"leaderless":      st.Leaderless,
 		"stats":           st.Stats,
 	})
+}
+
+// handleControl serves the adaptive controller's snapshot: the health
+// verdict and streaks, every live knob, per-kind action totals, and the
+// retained action history (?limit= caps the returned actions, newest kept).
+func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st := s.inf.Control.Status()
+	if limit > 0 && len(st.Actions) > limit {
+		st.Actions = st.Actions[len(st.Actions)-limit:]
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleSLO serves every objective's windowed burn math.
