@@ -16,9 +16,10 @@ import (
 // accidental per-record marshal, map, or closure shows up as a test failure
 // rather than a slow throughput bleed.
 const (
-	produceAllocBudget     = 8  // measured 4 allocs/op at RF 3 (2 at RF 1)
-	pollCommitAllocBudget  = 4  // measured 1 alloc/op for poll(1)+commit
-	frameIngestAllocBudget = 96 // measured 47 allocs/frame through all 4 tiers
+	produceAllocBudget      = 8  // measured 4 allocs/op at RF 3 (2 at RF 1)
+	pollCommitAllocBudget   = 4  // measured 1 alloc/op for poll(1)+commit
+	frameIngestAllocBudget  = 96 // measured 47 allocs/frame through all 4 tiers
+	incidentTickAllocBudget = 0  // quiescent correlation cycle must not allocate
 )
 
 func allocCluster(tb testing.TB, rf int) *stream.Cluster {
@@ -120,6 +121,33 @@ func TestFrameIngestAllocBudget(t *testing.T) {
 	t.Logf("frame ingest: %.1f allocs/frame", allocs)
 	if allocs > frameIngestAllocBudget {
 		t.Errorf("frame ingest allocates %.1f/frame, budget %d", allocs, frameIngestAllocBudget)
+	}
+}
+
+// TestIncidentTickAllocBudget pins the incident engine's quiescent tick at
+// zero allocations against the fully-wired stack (the unit-level variant
+// lives in internal/incident). The engine runs on every monitor tick, so
+// any steady-state allocation here compounds into GC pressure on the
+// monitoring path; reused scratch buffers must absorb all per-tick work
+// once boot traffic has drained and no alert transitions arrive.
+func TestIncidentTickAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocs/op")
+	}
+	inf, err := core.New(core.DefaultConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain boot-time spans and events into the dependency graph so the
+	// measured runs see the quiescent path.
+	inf.MonitorTick()
+	inf.MonitorTick()
+	allocs := testing.AllocsPerRun(200, func() {
+		inf.Incidents.Tick()
+	})
+	t.Logf("incident tick: %.1f allocs/op", allocs)
+	if allocs > incidentTickAllocBudget {
+		t.Errorf("quiescent incident tick allocates %.1f/op, budget %d", allocs, incidentTickAllocBudget)
 	}
 }
 

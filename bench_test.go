@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/core"
 	"repro/internal/dataproc"
 	"repro/internal/experiments"
 	"repro/internal/fog"
@@ -217,6 +218,7 @@ func BenchmarkE21_MetricsMonitor(b *testing.B)      { benchExperiment(b, "E21") 
 func BenchmarkE22_ClusterFailover(b *testing.B)     { benchExperiment(b, "E22") }
 func BenchmarkE23_ContinuousProfiling(b *testing.B) { benchExperiment(b, "E23") }
 func BenchmarkE24_AdaptiveControl(b *testing.B)     { benchExperiment(b, "E24") }
+func BenchmarkE25_IncidentCorrelation(b *testing.B) { benchExperiment(b, "E25") }
 
 // BenchmarkControllerTick measures one closed-loop control cycle — the cost
 // the adaptive controller adds to every monitor tick on top of scrape and
@@ -245,6 +247,29 @@ func BenchmarkControllerTick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		degraded = i%8 < 4
 		c.Tick()
+	}
+}
+
+// BenchmarkIncidentTick measures one quiescent correlation cycle — the
+// cost the incident engine adds to every monitor tick once boot traffic
+// has drained and no new spans, events, or alert transitions arrive.
+// Steady state must stay at 0 allocs/op (gated by
+// TestIncidentTickAllocBudget) so correlation never becomes GC pressure
+// on the monitoring path.
+func BenchmarkIncidentTick(b *testing.B) {
+	inf, err := core.New(core.DefaultConfig(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Two monitor ticks fold boot-time spans and events into the
+	// dependency graph so the measured loop starts from the drained
+	// steady state.
+	inf.MonitorTick()
+	inf.MonitorTick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf.Incidents.Tick()
 	}
 }
 

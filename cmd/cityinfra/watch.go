@@ -130,6 +130,26 @@ func renderWatch(inf *core.Infrastructure, w io.Writer, frame int, clear bool) {
 		}
 	}
 
+	// Incidents pane: the correlation engine's verdict. The open incident
+	// (or the most recently resolved one) shows its active rules and the
+	// top-ranked root-cause suspects with their evidence breakdowns.
+	fmt.Fprintf(w, "\n  incidents        open %d, opened %d, resolved %d",
+		inf.Incidents.OpenCount(), inf.Incidents.OpenedTotal(), inf.Incidents.ResolvedTotal())
+	nodes, edges := inf.Incidents.GraphSize()
+	fmt.Fprintf(w, "   dependency graph %d nodes / %d edges\n", nodes, edges)
+	if incs := inf.Incidents.Incidents(1); len(incs) > 0 {
+		inc := incs[0]
+		fmt.Fprintf(w, "    %s [%s] tick %d  rules: %s\n",
+			inc.ID, inc.State, inc.OpenedTick, strings.Join(inc.Rules, ", "))
+		for i, s := range inc.Suspects {
+			if i >= 3 {
+				break
+			}
+			fmt.Fprintf(w, "      suspect %-14s score %-8.4g depth %-2d (dlq %d, infra %d, breaker %d)\n",
+				s.Component, s.Score, s.Depth, s.DLQ, s.Infra, s.Breaker)
+		}
+	}
+
 	// Hot-regions pane: where the last profiling window's self time went.
 	// Shares are of the window's total self time, so a CPU burn injected in
 	// one component visibly crowds out every other row.

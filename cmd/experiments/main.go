@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's figures and quantitative
-// claims (experiments E1..E24, see DESIGN.md §4). Without arguments it runs
+// claims (experiments E1..E25, see DESIGN.md §4). Without arguments it runs
 // everything; pass experiment ids to run a subset.
 //
 //	go run ./cmd/experiments                         # all experiments
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
@@ -36,7 +37,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed shared by all experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	benchJSON := fs.String("bench-json", "", "benchmark the E18..E22 and E24 hot paths plus the monitoring, control, and broker micro paths and write ops/sec + p99 JSON to this file")
+	benchJSON := fs.String("bench-json", "", "benchmark the E18..E22, E24, and E25 hot paths plus the monitoring, control, incident, and broker micro paths and write ops/sec + p99 JSON to this file")
 	benchLabel := fs.String("bench-label", "", "free-form label (e.g. PR7) embedded in the -bench-json output so benchdiff can name what it compares")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,10 +137,10 @@ func benchClusterFixture(rf int) (*stream.Cluster, error) {
 // writeBenchJSON times the heaviest pipeline experiments — E18 (chaos sweep
 // through the hardened ingestion path), E19 (fog latency attribution), E20
 // (traced chaos sweep across the offload boundary), E21 (metrics monitor
-// loop), E22 (replicated-broker failover), and E24 (closed-loop adaptive
-// control) — plus the monitoring, broker, and control micro paths a
-// deployment pays on every scrape tick and produce, and records throughput
-// plus tail latency.
+// loop), E22 (replicated-broker failover), E24 (closed-loop adaptive
+// control), and E25 (incident correlation) — plus the monitoring, broker,
+// control, and incident micro paths a deployment pays on every scrape tick
+// and produce, and records throughput plus tail latency.
 // gitCommit returns the short hash of HEAD, or "" when git (or the repo)
 // is unavailable — bench JSON stays writable from an exported tarball.
 func gitCommit() string {
@@ -151,13 +152,14 @@ func gitCommit() string {
 }
 
 func writeBenchJSON(path string, seed int64, label string) error {
-	// E24 replays a 100-tick two-arm chaos schedule per run, so it gets a
-	// smaller iteration count than the sub-second experiments.
+	// E24 replays a 100-tick two-arm chaos schedule per run and E25 runs
+	// four chaos scenarios plus a replay check, so they get smaller
+	// iteration counts than the sub-second experiments.
 	experimentIters := []struct {
 		id    string
 		iters int
 	}{
-		{"E18", 20}, {"E19", 20}, {"E20", 20}, {"E21", 20}, {"E22", 20}, {"E24", 3},
+		{"E18", 20}, {"E19", 20}, {"E20", 20}, {"E21", 20}, {"E22", 20}, {"E24", 3}, {"E25", 10},
 	}
 	var results []benchResult
 	for _, e := range experimentIters {
@@ -240,6 +242,25 @@ func writeBenchJSON(path string, seed int64, label string) error {
 		return err
 	}
 	results = append(results, ctlTick)
+
+	// Incident micro path: the correlation engine's quiescent per-monitor-
+	// tick cost against the fully wired stack. Boot traffic is drained by
+	// two monitor ticks first, so the loop measures the steady state the
+	// 0-alloc gate (TestIncidentTickAllocBudget) pins.
+	inf, err := core.New(core.DefaultConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	inf.MonitorTick()
+	inf.MonitorTick()
+	incTick, err := benchLoop("Incident.Tick", microIters, func(int) error {
+		inf.Incidents.Tick()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	results = append(results, incTick)
 
 	// Broker micro paths: produce at RF 1 (leader-only ack) vs RF 3 (ack
 	// after full-ISR replication), and the poll-then-commit consumer hop.

@@ -488,7 +488,7 @@ func (c *Controller) fire(kind ActionKind, reason string, value float64) {
 		c.actions = c.actions[len(c.actions)-c.cfg.History:]
 	}
 	if c.events != nil {
-		c.events.Log(telemetry.LevelInfo, "control", "",
+		c.events.Log(telemetry.LevelInfo, telemetry.CompControl, "",
 			"action %s → %.2f (%s)", kind, value, reason)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/hbase"
 	"repro/internal/hdfs"
+	"repro/internal/incident"
 	"repro/internal/profile"
 	"repro/internal/retry"
 	"repro/internal/socialgraph"
@@ -148,6 +149,13 @@ type Infrastructure struct {
 	// into. MonitorTick closes one attribution window per tick; /api/profile
 	// and the watch dashboard read its hot-region rankings.
 	Profiler *profile.Profiler
+
+	// Incident correlation layer: joins traces, events, and alert state
+	// into a live dependency graph and ranked root-cause incidents. Runs
+	// one correlation pass per MonitorTick, after the alert evaluation and
+	// before the controller, so mitigations land in the same tick's
+	// incident timeline.
+	Incidents *incident.Engine
 	profIngest, profCollect, profStream, profStore,
 	profArchive, profGate, profInference *profile.Region
 
@@ -280,6 +288,10 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 	// Control layer: wires the controller's signals over the monitoring,
 	// SLO, and profiling layers, so it must come last.
 	inf.wireControl()
+
+	// Incident correlation layer: reads every telemetry surface wired
+	// above (tracer, event log, alert engine, profiler).
+	inf.wireIncidents()
 
 	// Data layer.
 	inf.Cameras, err = citydata.CameraNetwork(cfg.Cameras, rng)

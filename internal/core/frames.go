@@ -171,7 +171,7 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, archiveDir string) (stats P
 			// drain picks the backlog up on a later frame's loop. Defer
 			// instead of failing the whole batch — the controller reacts to
 			// the produce-error metrics this partition also generates.
-			inf.Events.Log(telemetry.LevelWarn, "frames", rootCtx.TraceID,
+			inf.Events.Log(telemetry.LevelWarn, telemetry.CompFrames, rootCtx.TraceID,
 				"inference drain deferred: %v", perr)
 			break
 		}

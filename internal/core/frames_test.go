@@ -152,7 +152,7 @@ func TestPoisonedFrameKeepsItsOwnTrace(t *testing.T) {
 	// The quarantine event carries the poisoned record's propagated trace id.
 	found := false
 	for _, ev := range inf.Events.Events(0) {
-		if ev.Component == "deadletter" && ev.TraceID == "poison-parent" {
+		if telemetry.ComponentRoot(ev.Component) == telemetry.CompDeadLetter && ev.TraceID == "poison-parent" {
 			found = true
 		}
 	}

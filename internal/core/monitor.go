@@ -112,9 +112,10 @@ func (inf *Infrastructure) wireMonitor() error {
 // simulated clock by ScrapeInterval, run the broker cluster's controller
 // pass (leader elections, follower catch-up — so failover latency is
 // measured in these same ticks), scrape the registry into the time-series
-// store, evaluate every alert rule against the new history, and let the
-// adaptive controller act on the fresh verdicts. Experiments and the -watch
-// dashboard call it once per frame; nothing in it sleeps.
+// store, evaluate every alert rule against the new history, correlate the
+// fresh alert states into incidents, and let the adaptive controller act on
+// the same verdicts. Experiments and the -watch dashboard call it once per
+// frame; nothing in it sleeps.
 func (inf *Infrastructure) MonitorTick() {
 	inf.Clock.Advance(inf.ScrapeInterval)
 	inf.Broker.Tick()
@@ -123,6 +124,10 @@ func (inf *Infrastructure) MonitorTick() {
 	inf.Profiler.Tick()
 	inf.TSDB.Scrape()
 	inf.Alerts.Eval()
+	// Correlation runs between the alert evaluation and the controller: it
+	// sees this tick's alert transitions, and the controller's mitigation
+	// actions land in the open incident's timeline on the next tick.
+	inf.Incidents.Tick()
 	// The controller runs last so its signals — alert states, the scrape it
 	// queries, the profile window — are all from this tick.
 	inf.Control.Tick()

@@ -23,7 +23,7 @@ func (inf *Infrastructure) EnableChaos(inj *faults.Injector) {
 	inf.CrimeTab.SetFaultHook(inj.HBaseHook())
 	inf.VideoTab.SetFaultHook(inj.HBaseHook())
 	inf.storeFault = inj.StoreHook()
-	inf.Events.Log(telemetry.LevelWarn, "chaos", "", "fault injection enabled on broker, replication, HDFS, HBase, and docstore seams")
+	inf.Events.Log(telemetry.LevelWarn, telemetry.CompChaos, "", "fault injection enabled on broker, replication, HDFS, HBase, and docstore seams")
 }
 
 // DisableChaos detaches the injector and restores direct seams.
@@ -35,7 +35,7 @@ func (inf *Infrastructure) DisableChaos() {
 	inf.CrimeTab.SetFaultHook(nil)
 	inf.VideoTab.SetFaultHook(nil)
 	inf.storeFault = nil
-	inf.Events.Log(telemetry.LevelInfo, "chaos", "", "fault injection disabled; direct seams restored")
+	inf.Events.Log(telemetry.LevelInfo, telemetry.CompChaos, "", "fault injection disabled; direct seams restored")
 }
 
 // produceWithRetry pushes one record through the bus under the shared
@@ -114,11 +114,14 @@ func (inf *Infrastructure) quarantine(source, stage, key string, body []byte, ca
 		doc["traceId"] = traceID
 	}
 	_, err := inf.DocDB.Collection("deadletter").Insert(doc)
+	// The component carries the failing stage (deadletter/<stage>) so the
+	// incident scorer can attribute the loss to the backend behind it.
+	comp := telemetry.Component(telemetry.CompDeadLetter, stage)
 	if err == nil {
-		inf.Events.Log(telemetry.LevelWarn, "deadletter", traceID,
+		inf.Events.Log(telemetry.LevelWarn, comp, traceID,
 			"%s/%s record %q quarantined: %v", source, stage, key, cause)
 	} else {
-		inf.Events.Log(telemetry.LevelError, "deadletter", traceID,
+		inf.Events.Log(telemetry.LevelError, comp, traceID,
 			"%s/%s record %q dropped — quarantine failed: %v", source, stage, key, cause)
 	}
 	return err == nil

@@ -157,19 +157,19 @@ func (inf *Infrastructure) wireTelemetry() {
 		if to == retry.Closed {
 			level = telemetry.LevelInfo
 		}
-		inf.Events.Log(level, "breaker", "", "circuit breaker %s → %s", from, to)
+		inf.Events.Log(level, telemetry.CompBreaker, "", "circuit breaker %s → %s", from, to)
 	})
 	inf.Healer.SetOnRepair(func(created int, err error) {
 		if err != nil {
-			inf.Events.Log(telemetry.LevelError, "healer", "", "re-replication pass failed after %d replicas: %v", created, err)
+			inf.Events.Log(telemetry.LevelError, telemetry.CompHealer, "", "re-replication pass failed after %d replicas: %v", created, err)
 			return
 		}
-		inf.Events.Log(telemetry.LevelWarn, "healer", "", "re-replicated %d under-replicated block replicas", created)
+		inf.Events.Log(telemetry.LevelWarn, telemetry.CompHealer, "", "re-replicated %d under-replicated block replicas", created)
 	})
 	for _, tab := range []*hbase.Table{inf.CrimeTab, inf.VideoTab} {
 		tab := tab
 		tab.SetEventHook(func(event, detail string) {
-			inf.Events.Log(telemetry.LevelInfo, "hbase/"+tab.Name(), "", "%s: %s", event, detail)
+			inf.Events.Log(telemetry.LevelInfo, telemetry.Component(telemetry.CompHBase, tab.Name()), "", "%s: %s", event, detail)
 		})
 	}
 	// Broker cluster transitions: crashes, leadership changes, and ISR churn
@@ -181,11 +181,11 @@ func (inf *Infrastructure) wireTelemetry() {
 		part := fmt.Sprintf("%s/%d", ev.Topic, ev.Partition)
 		switch ev.Kind {
 		case "node-crash":
-			inf.Events.Log(telemetry.LevelWarn, "broker", "", "node %d crashed", ev.Node)
+			inf.Events.Log(telemetry.LevelWarn, telemetry.CompBroker, "", "node %d crashed", ev.Node)
 		case "node-restart":
-			inf.Events.Log(telemetry.LevelInfo, "broker", "", "node %d restarted", ev.Node)
+			inf.Events.Log(telemetry.LevelInfo, telemetry.CompBroker, "", "node %d restarted", ev.Node)
 		case "leader-lost":
-			inf.Events.Log(telemetry.LevelWarn, "broker", "",
+			inf.Events.Log(telemetry.LevelWarn, telemetry.CompBroker, "",
 				"%s lost leader (node %d, epoch %d)", part, ev.Node, ev.Epoch)
 		case "leader-elected":
 			interval := inf.ScrapeInterval
@@ -197,17 +197,17 @@ func (inf *Infrastructure) wireTelemetry() {
 			if ev.Unclean {
 				level, mode = telemetry.LevelWarn, "unclean"
 			}
-			inf.Events.Log(level, "broker", "",
+			inf.Events.Log(level, telemetry.CompBroker, "",
 				"%s elected node %d (%s, epoch %d, %d ticks leaderless)",
 				part, ev.Node, mode, ev.Epoch, ev.FailoverTicks)
 		case "isr-shrink":
-			inf.Events.Log(telemetry.LevelWarn, "broker", "",
+			inf.Events.Log(telemetry.LevelWarn, telemetry.CompBroker, "",
 				"%s dropped node %d from ISR: %s", part, ev.Node, ev.Detail)
 		case "isr-expand":
-			inf.Events.Log(telemetry.LevelInfo, "broker", "",
+			inf.Events.Log(telemetry.LevelInfo, telemetry.CompBroker, "",
 				"%s node %d caught up, rejoined ISR", part, ev.Node)
 		case "truncate":
-			inf.Events.Log(telemetry.LevelWarn, "broker", "",
+			inf.Events.Log(telemetry.LevelWarn, telemetry.CompBroker, "",
 				"%s node %d truncated: %s", part, ev.Node, ev.Detail)
 		}
 	})

@@ -71,6 +71,7 @@ var registry = []registration{
 	{"E22", "robustness — replicated broker: leader kill, ISR election, zero acked loss", E22ClusterFailover},
 	{"E23", "observability — continuous profiling: hot regions, overhead budget, burn localization", E23Profile},
 	{"E24", "autonomy — closed-loop adaptive control vs static baseline under phased partitions", E24AdaptiveControl},
+	{"E25", "observability — incident correlation: root-cause ranking under single-op partitions", E25IncidentCorrelation},
 }
 
 // IDs lists experiment ids in order.

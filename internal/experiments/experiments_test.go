@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 24 {
-		t.Fatalf("registry has %d experiments, want 24 (E1..E24)", len(ids))
+	if len(ids) != 25 {
+		t.Fatalf("registry has %d experiments, want 25 (E1..E25)", len(ids))
 	}
 	titles := Titles()
 	for _, id := range ids {
@@ -225,6 +225,24 @@ func TestE24(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("E24 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE25(t *testing.T) {
+	res := runAndCheck(t, "E25")
+	// The runner enforces the hard claims internally: every scenario opens
+	// an incident within 3 ticks of fault onset, resolves it after the
+	// partition clears, top-ranks the injected backend in >= 90% of
+	// incidents, and the canonical record replays byte-identically. Check
+	// the rendered output names all four scenarios and their suspects.
+	out := res.String()
+	for _, want := range []string{
+		"hdfs-partition", "bus-partition", "hbase-partition", "docstore-partition",
+		"hdfs", "broker", "hbase", "docstore", "byte-identically",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E25 output missing %q:\n%s", want, out)
 		}
 	}
 }

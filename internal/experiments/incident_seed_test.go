@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+// TestE25SeedSweep runs E25 across the acceptance seed range: every seed
+// must open its incidents within three ticks of fault onset, resolve them
+// after the fault clears, top-rank the injected backend, and replay the
+// canonical incident record byte-identically. Six full stacks boot per
+// seed, so the sweep is skipped in -short.
+func TestE25SeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20-seed sweep skipped in -short")
+	}
+	for seed := int64(42); seed <= 61; seed++ {
+		if _, err := Run("E25", seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -161,7 +161,7 @@ func E20TracedChaosSweep(rng *rand.Rand) (*Result, error) {
 	// Event log: the chaos arm's quarantines must carry trace ids.
 	traced := 0
 	for _, ev := range inf.Events.Events(0) {
-		if ev.Component == "deadletter" && ev.TraceID != "" {
+		if telemetry.ComponentRoot(ev.Component) == telemetry.CompDeadLetter && ev.TraceID != "" {
 			traced++
 		}
 	}

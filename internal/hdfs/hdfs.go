@@ -157,6 +157,10 @@ func (c *Cluster) liveNodes() []*dataNode {
 			ns = append(ns, n)
 		}
 	}
+	// Canonical order before the seeded shuffle: feeding map-iteration
+	// order into the shuffle would make placement (and which node's error
+	// surfaces on a failed write) differ across runs of the same seed.
+	sort.Slice(ns, func(i, j int) bool { return ns[i].id < ns[j].id })
 	c.rng.Shuffle(len(ns), func(i, j int) { ns[i], ns[j] = ns[j], ns[i] })
 	sort.SliceStable(ns, func(i, j int) bool { return len(ns[i].blocks) < len(ns[j].blocks) })
 	return ns

@@ -1,0 +1,5 @@
+//go:build !race
+
+package incident
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package incident
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-count assertions are skipped because instrumentation changes
+// allocs/op.
+const raceEnabled = true

@@ -1,0 +1,68 @@
+package telemetry
+
+import "strings"
+
+// Event component names. Every emitter in the stack logs under one of these
+// constants (possibly extended with a "/sub" segment via Component), and the
+// incident correlation scorer classifies events by the same constants — a
+// single vocabulary, so emitters and the scorer cannot drift apart.
+const (
+	// CompBreaker marks circuit-breaker state transitions.
+	CompBreaker = "breaker"
+	// CompHealer marks HDFS re-replication supervisor activity.
+	CompHealer = "healer"
+	// CompBroker marks broker-cluster lifecycle events (crash, election,
+	// ISR changes, truncation).
+	CompBroker = "broker"
+	// CompDeadLetter marks dead-letter quarantines. Emitters append the
+	// failing stage — Component(CompDeadLetter, stage) — so the scorer can
+	// attribute the loss to the backend behind that stage.
+	CompDeadLetter = "deadletter"
+	// CompChaos marks fault-injector enable/disable markers.
+	CompChaos = "chaos"
+	// CompAlerts marks alert-rule lifecycle transitions.
+	CompAlerts = "tsdb/alerts"
+	// CompControl marks adaptive-controller actions.
+	CompControl = "control"
+	// CompFrames marks frame-pipeline operational notes (deferred drains).
+	CompFrames = "frames"
+	// CompHBase prefixes HBase table events: Component(CompHBase, table).
+	CompHBase = "hbase"
+	// CompIncident marks incident open/resolve markers in timelines.
+	CompIncident = "incident"
+)
+
+// Backend component names used by the dependency graph and suspect ranking.
+// CompBroker and CompHBase above double as backend names; these name the
+// remaining storage tiers, which have no event emitters of their own (their
+// failures surface as dead letters attributed via the quarantine stage).
+const (
+	// CompHDFS is the distributed-file-system tier.
+	CompHDFS = "hdfs"
+	// CompDocstore is the document-store tier.
+	CompDocstore = "docstore"
+)
+
+// Component joins a root component name with a sub-component, e.g.
+// Component(CompDeadLetter, "hbase") == "deadletter/hbase".
+func Component(root, sub string) string {
+	return root + "/" + sub
+}
+
+// ComponentRoot returns the first path segment of a component name:
+// ComponentRoot("deadletter/hbase") == CompDeadLetter.
+func ComponentRoot(c string) string {
+	if i := strings.IndexByte(c, '/'); i >= 0 {
+		return c[:i]
+	}
+	return c
+}
+
+// ComponentSub returns the path remainder after the root segment, or ""
+// when the component has no sub-segment.
+func ComponentSub(c string) string {
+	if i := strings.IndexByte(c, '/'); i >= 0 {
+		return c[i+1:]
+	}
+	return ""
+}

@@ -80,6 +80,7 @@ func (t *Tracer) startRemoteLocked(ctx TraceContext, name string, begin time.Tim
 		t.insertLocked(ctx.TraceID, tr)
 		root := &Span{tracer: t, trace: tr, ID: 0, Parent: -1, Name: name, Begin: begin}
 		tr.spans = append(tr.spans, root)
+		t.spans++
 		return root
 	}
 	parent := ctx.SpanID
@@ -88,6 +89,7 @@ func (t *Tracer) startRemoteLocked(ctx TraceContext, name string, begin time.Tim
 	}
 	s := &Span{tracer: t, trace: tr, ID: len(tr.spans), Parent: parent, Name: name, Begin: begin}
 	tr.spans = append(tr.spans, s)
+	t.spans++
 	return s
 }
 
@@ -115,6 +117,7 @@ func (t *Tracer) StartAt(id, name string, begin time.Time) *Span {
 	t.insertLocked(id, tr)
 	root := &Span{tracer: t, trace: tr, ID: 0, Parent: -1, Name: name, Begin: begin}
 	tr.spans = append(tr.spans, root)
+	t.spans++
 	return root
 }
 

@@ -100,6 +100,41 @@ func (l *EventLog) Events(limit int) []Event {
 	return out
 }
 
+// EventsSince returns retained events with Seq > since, oldest first, capped
+// at limit (<= 0 means all). Sequence numbers are contiguous and monotonic,
+// so a poller that remembers the last Seq it saw reads incrementally:
+// EventsSince(last, n) is the next ascending page, and the returned slice is
+// nil when nothing new was logged — the cheap steady-state path. Events
+// evicted from the ring before the poller caught up are silently skipped
+// (Dropped counts them).
+func (l *EventLog) EventsSince(since int64, limit int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = l.cap
+	}
+	// Retained events hold the contiguous seq range [l.seq-n+1, l.seq].
+	avail := l.seq - since
+	if avail <= 0 {
+		return nil
+	}
+	if int64(n) < avail {
+		avail = int64(n)
+	}
+	take := int(avail)
+	if limit > 0 && limit < take {
+		take = limit
+	}
+	// Oldest unseen event sits `avail` slots behind the write cursor.
+	start := (l.next - int(avail) + l.cap) % l.cap
+	out := make([]Event, 0, take)
+	for i := 0; i < take; i++ {
+		out = append(out, l.buf[(start+i)%l.cap])
+	}
+	return out
+}
+
 // Len returns how many events are currently retained.
 func (l *EventLog) Len() int {
 	l.mu.Lock()

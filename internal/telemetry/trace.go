@@ -22,6 +22,7 @@ type Tracer struct {
 	mu     sync.Mutex
 	traces map[string]*trace
 	order  []string // insertion order for ring eviction
+	spans  int64    // spans ever created, including evicted traces'
 }
 
 type trace struct {
@@ -66,6 +67,7 @@ func (t *Tracer) Start(id, name string) *Span {
 	t.insertLocked(id, tr)
 	root := &Span{tracer: t, trace: tr, ID: 0, Parent: -1, Name: name, Begin: t.now()}
 	tr.spans = append(tr.spans, root)
+	t.spans++
 	return root
 }
 
@@ -101,7 +103,17 @@ func (s *Span) Child(name string) *Span {
 		ID: len(s.trace.spans), Parent: s.ID, Name: name, Begin: s.tracer.now(),
 	}
 	s.trace.spans = append(s.trace.spans, c)
+	s.tracer.spans++
 	return c
+}
+
+// SpanCount returns how many spans were ever created, including spans of
+// evicted traces. It is a cheap change detector: pollers (the incident
+// engine's graph builder) re-scan the ring only when the count moved.
+func (t *Tracer) SpanCount() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
 }
 
 // SetTier tags the span with a tier/stage label. It takes the tracer lock so

@@ -307,7 +307,7 @@ func (e *Engine) transition(rs *ruleState, to string, atNs int64) {
 
 func (e *Engine) log(level, traceID, format string, args ...any) {
 	if e.events != nil {
-		e.events.Log(level, "tsdb/alerts", traceID, format, args...)
+		e.events.Log(level, telemetry.CompAlerts, traceID, format, args...)
 	}
 }
 
@@ -340,4 +340,31 @@ func (e *Engine) Firing() []string {
 		}
 	}
 	return out
+}
+
+// RuleRef is a light (name, state, severity, exemplar) view of one rule —
+// what per-tick consumers need without the full RuleStatus export.
+type RuleRef struct {
+	Name     string
+	State    string
+	Severity string
+	Exemplar string
+}
+
+// ActiveAppend appends a RuleRef for every rule whose state is not inactive
+// (pending or firing) to buf and returns it. Passing a reused buf[:0] with
+// enough capacity makes the call allocation-free — the incident engine polls
+// this every monitor tick, where the common case is "nothing active".
+func (e *Engine) ActiveAppend(buf []RuleRef) []RuleRef {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rs := range e.rules {
+		if rs.state == StatePending || rs.state == StateFiring {
+			buf = append(buf, RuleRef{
+				Name: rs.rule.Name, State: rs.state,
+				Severity: rs.rule.Severity, Exemplar: rs.exemplar,
+			})
+		}
+	}
+	return buf
 }

@@ -1,0 +1,47 @@
+package web
+
+import "net/http"
+
+// handleIncidents serves the incident correlation engine's records: the
+// open incident first (when one exists), then resolved incidents newest
+// first. ?limit= caps the listing; counters give the lifetime totals.
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	incs := s.inf.Incidents.Incidents(limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":     len(incs),
+		"open":      s.inf.Incidents.OpenCount(),
+		"opened":    s.inf.Incidents.OpenedTotal(),
+		"resolved":  s.inf.Incidents.ResolvedTotal(),
+		"incidents": incs,
+	})
+}
+
+// handleGraph serves the trace-derived component dependency graph as JSON
+// adjacency: nodes (stage and backend) and directed edges with RED stats
+// (traversal rate, folded-in error counts, span-duration diagnostics).
+// ?limit= caps the edge list after its deterministic (from, to) sort.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	gv := s.inf.Incidents.Graph()
+	totalEdges := len(gv.Edges)
+	if limit > 0 && limit < len(gv.Edges) {
+		gv.Edges = gv.Edges[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tick":       gv.Tick,
+		"nodeCount":  len(gv.Nodes),
+		"edgeCount":  len(gv.Edges),
+		"totalEdges": totalEdges,
+		"nodes":      gv.Nodes,
+		"edges":      gv.Edges,
+	})
+}

@@ -1,0 +1,223 @@
+package web
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/citydata"
+	"repro/internal/faults"
+)
+
+func TestGraphEndpoint(t *testing.T) {
+	srv, inf := newTestServer(t)
+	// Boot-time ingestion already traced the tweet pipeline; one tick folds
+	// those spans into the dependency graph.
+	inf.MonitorTick()
+
+	out := getJSON(t, srv.URL+"/api/graph", http.StatusOK)
+	if out["nodeCount"].(float64) == 0 || out["edgeCount"].(float64) == 0 {
+		t.Fatalf("empty graph after traced ingestion: %v", out)
+	}
+	nodes := out["nodes"].([]any)
+	byName := map[string]map[string]any{}
+	for _, n := range nodes {
+		row := n.(map[string]any)
+		byName[row["name"].(string)] = row
+	}
+	root, ok := byName["ingest-tweets"]
+	if !ok || root["kind"].(string) != "stage" || root["spans"].(float64) == 0 {
+		t.Fatalf("ingest-tweets root node missing or idle: %v", root)
+	}
+	if ds, ok := byName["docstore"]; !ok || ds["kind"].(string) != "backend" {
+		t.Fatalf("docstore backend node missing: %v", byName)
+	}
+	// Edges carry the RED fields and are sorted by (from, to).
+	edges := out["edges"].([]any)
+	for _, e := range edges {
+		row := e.(map[string]any)
+		for _, key := range []string{"from", "to", "traversals", "errors", "ratePerTick"} {
+			if _, ok := row[key]; !ok {
+				t.Fatalf("edge row missing %q: %v", key, row)
+			}
+		}
+	}
+	for i := 1; i < len(edges); i++ {
+		prev := edges[i-1].(map[string]any)
+		cur := edges[i].(map[string]any)
+		pk := prev["from"].(string) + "\x00" + prev["to"].(string)
+		ck := cur["from"].(string) + "\x00" + cur["to"].(string)
+		if ck < pk {
+			t.Fatalf("edges not sorted: %q after %q", ck, pk)
+		}
+	}
+
+	// ?limit= caps the edge list, totalEdges keeps the uncapped count.
+	capped := getJSON(t, srv.URL+"/api/graph?limit=2", http.StatusOK)
+	if n := len(capped["edges"].([]any)); n != 2 {
+		t.Fatalf("capped edges = %d, want 2", n)
+	}
+	if capped["totalEdges"].(float64) != out["edgeCount"].(float64) {
+		t.Fatalf("totalEdges = %v, want %v", capped["totalEdges"], out["edgeCount"])
+	}
+}
+
+func TestIncidentsEndpoint(t *testing.T) {
+	srv, inf := newTestServer(t)
+
+	// Quiet system: no incidents yet.
+	out := getJSON(t, srv.URL+"/api/incidents", http.StatusOK)
+	if out["count"].(float64) != 0 || out["open"].(float64) != 0 {
+		t.Fatalf("incidents on a healthy stack: %v", out)
+	}
+
+	// Hard docstore partition: tweet stores dead-letter, the delivery rule
+	// trips, and the correlation engine opens an incident. The batch stays
+	// small so retry backoff doesn't advance the simulated clock past the
+	// rule's 15s rate window between scrapes.
+	inf.EnableChaos(faults.NewInjector(faults.Config{
+		Seed: 7, BlackoutEvery: 1, BlackoutLen: 1, TargetOps: []string{"store."},
+	}))
+	tweets := smallTweets(t, inf, 8, 11)
+	for tick := 0; tick < 4; tick++ {
+		if _, err := inf.IngestTweets(tweets); err != nil {
+			t.Fatalf("ingest under store chaos: %v", err)
+		}
+		inf.MonitorTick()
+	}
+	inf.DisableChaos()
+
+	out = getJSON(t, srv.URL+"/api/incidents", http.StatusOK)
+	if out["opened"].(float64) == 0 {
+		t.Fatalf("no incident opened under store chaos: %v", out)
+	}
+	incs := out["incidents"].([]any)
+	if len(incs) == 0 {
+		t.Fatalf("incident list empty: %v", out)
+	}
+	inc := incs[0].(map[string]any)
+	for _, key := range []string{"id", "state", "openedTick", "rules", "suspects", "timeline"} {
+		if _, ok := inc[key]; !ok {
+			t.Fatalf("incident missing %q: %v", key, inc)
+		}
+	}
+	suspects := inc["suspects"].([]any)
+	if len(suspects) == 0 {
+		t.Fatalf("incident carries no suspects: %v", inc)
+	}
+	if top := suspects[0].(map[string]any); top["component"].(string) != "docstore" {
+		t.Fatalf("top suspect = %v, want docstore", top)
+	}
+
+	// ?limit= caps the listing.
+	capped := getJSON(t, srv.URL+"/api/incidents?limit=1", http.StatusOK)
+	if n := len(capped["incidents"].([]any)); n != 1 {
+		t.Fatalf("capped incidents = %d, want 1", n)
+	}
+}
+
+func TestEventsSinceCursor(t *testing.T) {
+	srv, inf := newTestServer(t)
+	inf.Events.Log("info", "test", "", "cursor probe one")
+	inf.Events.Log("info", "test", "", "cursor probe two")
+
+	// Cursor 0 pages everything retained, ascending.
+	out := getJSON(t, srv.URL+"/api/events?since=0", http.StatusOK)
+	evs := out["events"].([]any)
+	if len(evs) < 2 {
+		t.Fatalf("since=0 returned %d events", len(evs))
+	}
+	var prev float64
+	for _, e := range evs {
+		seq := e.(map[string]any)["seq"].(float64)
+		if seq <= prev {
+			t.Fatalf("cursor mode must be ascending: %v after %v", seq, prev)
+		}
+		prev = seq
+	}
+	if out["nextSince"].(float64) != prev {
+		t.Fatalf("nextSince = %v, want last seq %v", out["nextSince"], prev)
+	}
+
+	// Resuming from the cursor returns only what was logged after it.
+	cursor := int64(prev)
+	inf.Events.Log("info", "test", "", "cursor probe three")
+	out = getJSON(t, srv.URL+fmt.Sprintf("/api/events?since=%d", cursor), http.StatusOK)
+	evs = out["events"].([]any)
+	if len(evs) != 1 {
+		t.Fatalf("incremental read = %d events, want 1: %v", len(evs), out)
+	}
+	if msg := evs[0].(map[string]any)["message"].(string); msg != "cursor probe three" {
+		t.Fatalf("incremental event = %q", msg)
+	}
+
+	// A drained cursor returns an empty page and echoes itself.
+	next := int64(out["nextSince"].(float64))
+	out = getJSON(t, srv.URL+fmt.Sprintf("/api/events?since=%d", next), http.StatusOK)
+	if out["count"].(float64) != 0 || int64(out["nextSince"].(float64)) != next {
+		t.Fatalf("drained cursor: %v", out)
+	}
+
+	// ?limit= pages the ascending stream.
+	out = getJSON(t, srv.URL+"/api/events?since=0&limit=1", http.StatusOK)
+	if out["count"].(float64) != 1 {
+		t.Fatalf("paged read: %v", out)
+	}
+}
+
+// TestEventsSinceValidation pins the 400 contract for bad cursors.
+func TestEventsSinceValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		since      string
+		wantStatus int
+	}{
+		{"0", http.StatusOK},
+		{"12", http.StatusOK},
+		{"-1", http.StatusBadRequest},
+		{"junk", http.StatusBadRequest},
+		{"1.5", http.StatusBadRequest},
+		{"+2x", http.StatusBadRequest},
+		{"9999999999999999999999", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("since=%q", tc.since), func(t *testing.T) {
+			out := getJSON(t, srv.URL+"/api/events?since="+tc.since, tc.wantStatus)
+			if tc.wantStatus == http.StatusBadRequest && out["error"] == nil {
+				t.Fatalf("400 body carries no error: %v", out)
+			}
+		})
+	}
+}
+
+// TestIncidentReadDuringIngest hammers the incident and graph endpoints
+// while an ingest/monitor loop mutates the engine — the race-mode guard
+// matching the /api/profile pattern.
+func TestIncidentReadDuringIngest(t *testing.T) {
+	srv, inf := newTestServer(t)
+	tcfg := citydata.DefaultTweetConfig(inf.Config().Epoch)
+	tcfg.Count = 50
+	tweets, err := citydata.GenerateTweets(tcfg, nil, inf.Gang, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := inf.IngestTweets(tweets); err != nil {
+				panic(fmt.Sprintf("ingest during incident reads: %v", err))
+			}
+			inf.MonitorTick()
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		getJSON(t, srv.URL+"/api/incidents", http.StatusOK)
+		getJSON(t, srv.URL+"/api/graph", http.StatusOK)
+		getJSON(t, srv.URL+"/api/events?since=0", http.StatusOK)
+	}
+	wg.Wait()
+}

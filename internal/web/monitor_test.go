@@ -177,7 +177,7 @@ func TestHealthDegradedWhenAlertFiring(t *testing.T) {
 // rejected with 400.
 func TestLimitParamValidation(t *testing.T) {
 	srv, _ := newTestServer(t)
-	endpoints := []string{"/api/traces", "/api/events"}
+	endpoints := []string{"/api/traces", "/api/events", "/api/incidents", "/api/graph"}
 	cases := []struct {
 		limit      string
 		wantStatus int

@@ -56,6 +56,8 @@ func NewServer(inf *core.Infrastructure) *Server {
 	s.mux.HandleFunc("GET /api/control", s.handleControl)
 	s.mux.HandleFunc("GET /api/profile", s.handleProfile)
 	s.mux.HandleFunc("GET /api/profile/flame", s.handleProfileFlame)
+	s.mux.HandleFunc("GET /api/incidents", s.handleIncidents)
+	s.mux.HandleFunc("GET /api/graph", s.handleGraph)
 	s.registerRuntimeMetrics()
 	return s
 }
@@ -208,11 +210,33 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(ids), "total": total, "traces": ids})
 }
 
-// handleEvents serves the operational event log, newest first.
+// handleEvents serves the operational event log. Without ?since= it returns
+// the retained ring newest first. With ?since=<seq> it switches to cursor
+// mode: events with Seq > since, oldest first, capped at ?limit= — and the
+// response carries nextSince (the last Seq returned, or the cursor itself
+// when nothing new) so pollers read incrementally instead of re-fetching
+// the ring.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	limit, err := parseLimit(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		since, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || since < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: since", ErrBadRequest))
+			return
+		}
+		evs := s.inf.Events.EventsSince(since, limit)
+		next := since
+		if len(evs) > 0 {
+			next = evs[len(evs)-1].Seq
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count": len(evs), "total": s.inf.Events.Total(),
+			"nextSince": next, "events": evs,
+		})
 		return
 	}
 	evs := s.inf.Events.Events(limit)
