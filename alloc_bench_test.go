@@ -1,11 +1,13 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Allocation budgets for the pipeline's hot paths. The profiler's per-region
@@ -16,10 +18,11 @@ import (
 // accidental per-record marshal, map, or closure shows up as a test failure
 // rather than a slow throughput bleed.
 const (
-	produceAllocBudget      = 8  // measured 4 allocs/op at RF 3 (2 at RF 1)
-	pollCommitAllocBudget   = 4  // measured 1 alloc/op for poll(1)+commit
-	frameIngestAllocBudget  = 96 // measured 47 allocs/frame through all 4 tiers
-	incidentTickAllocBudget = 0  // quiescent correlation cycle must not allocate
+	produceAllocBudget       = 8  // measured 4 allocs/op at RF 3 (2 at RF 1)
+	pollCommitAllocBudget    = 4  // measured 1 alloc/op for poll(1)+commit
+	frameIngestAllocBudget   = 96 // measured 47 allocs/frame through all 4 tiers
+	incidentTickAllocBudget  = 0  // quiescent correlation cycle must not allocate
+	labeledHandleAllocBudget = 0  // cached vec handle records must not allocate
 )
 
 func allocCluster(tb testing.TB, rf int) *stream.Cluster {
@@ -148,6 +151,50 @@ func TestIncidentTickAllocBudget(t *testing.T) {
 	t.Logf("incident tick: %.1f allocs/op", allocs)
 	if allocs > incidentTickAllocBudget {
 		t.Errorf("quiescent incident tick allocates %.1f/op, budget %d", allocs, incidentTickAllocBudget)
+	}
+}
+
+// TestLabeledHandleAllocBudget pins the dimensional layer's record path at
+// zero allocations: a cached vec handle — counter Inc, gauge Set, histogram
+// Observe — runs on every frame for every camera, so a single allocation
+// here multiplies by fleet width times frame rate. Both a materialized
+// (top-K) handle and a handle folded into the {~other} rollup are gated:
+// demotion swaps an atomic pointer, it must not change the record cost.
+func TestLabeledHandleAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocs/op")
+	}
+	const k = 4
+	reg := telemetry.NewRegistry()
+	cv := reg.CounterVec("bench_cam_frames_total", "c", "camera", k)
+	gv := reg.GaugeVec("bench_cam_burn", "g", "camera", k)
+	hv := reg.HistogramVec("bench_cam_seconds", "h", "camera", nil, k)
+	// Fill the top-K, then one more: the overflow handle records into the
+	// rollup series from birth.
+	var real, overflow [3]any
+	for i := 0; i <= k; i++ {
+		id := fmt.Sprintf("cam-%d", i)
+		c, g, h := cv.With(id), gv.With(id), hv.With(id)
+		if i == 0 {
+			real = [3]any{c, g, h}
+		}
+		if i == k {
+			overflow = [3]any{c, g, h}
+		}
+	}
+	for name, handles := range map[string][3]any{"top-K": real, "rolled-up": overflow} {
+		c := handles[0].(*telemetry.LabeledCounter)
+		g := handles[1].(*telemetry.LabeledGauge)
+		h := handles[2].(*telemetry.LabeledHistogram)
+		allocs := testing.AllocsPerRun(2000, func() {
+			c.Inc()
+			g.Set(0.5)
+			h.Observe(0.01)
+		})
+		t.Logf("%s handle inc+set+observe: %.1f allocs/op", name, allocs)
+		if allocs > labeledHandleAllocBudget {
+			t.Errorf("%s labeled handle allocates %.1f/op, budget %d", name, allocs, labeledHandleAllocBudget)
+		}
 	}
 }
 

@@ -219,6 +219,7 @@ func BenchmarkE22_ClusterFailover(b *testing.B)     { benchExperiment(b, "E22") 
 func BenchmarkE23_ContinuousProfiling(b *testing.B) { benchExperiment(b, "E23") }
 func BenchmarkE24_AdaptiveControl(b *testing.B)     { benchExperiment(b, "E24") }
 func BenchmarkE25_IncidentCorrelation(b *testing.B) { benchExperiment(b, "E25") }
+func BenchmarkE26_FleetObservability(b *testing.B)  { benchExperiment(b, "E26") }
 
 // BenchmarkControllerTick measures one closed-loop control cycle — the cost
 // the adaptive controller adds to every monitor tick on top of scrape and

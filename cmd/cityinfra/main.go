@@ -197,15 +197,19 @@ func run(args []string) error {
 	}
 
 	if *watch {
-		fmt.Println("entering watch mode — each frame ingests a trickle of tweets and runs one monitor tick")
+		fmt.Println("entering watch mode — each frame ingests a trickle of tweets and camera frames and runs one monitor tick")
 		trickle := tcfg
 		trickle.Count = 100
+		camSeq := 0
 		return watchLoop(inf, os.Stdout, *watchFrames, *watchInterval, func(int) error {
 			batch, err := citydata.GenerateTweets(trickle, incidents, inf.Gang, rng)
 			if err != nil {
 				return err
 			}
-			_, err = inf.IngestTweets(batch)
+			if _, err := inf.IngestTweets(batch); err != nil {
+				return err
+			}
+			_, err = inf.IngestFrames(cameraSweep(inf, rng, &camSeq), "")
 			return err
 		})
 	}
@@ -213,8 +217,14 @@ func run(args []string) error {
 	if *serve != "" {
 		// Seed the TSDB with a few scrapes of the post-ingest registry so the
 		// windowed query endpoints (/api/query, /api/series) have enough
-		// samples for a full 15 s rate window before the first request.
+		// samples for a full 15 s rate window before the first request. One
+		// frame sweep per scrape keeps /api/cameras and the per-camera vec
+		// families populated too.
+		camSeq := 0
 		for i := 0; i < 4; i++ {
+			if _, err := inf.IngestFrames(cameraSweep(inf, rng, &camSeq), ""); err != nil {
+				return err
+			}
 			inf.MonitorTick()
 		}
 		fmt.Printf("serving dashboard API on %s (GET /api/health, /api/inventory, /api/tweets/near, ...)\n", *serve)
@@ -222,4 +232,24 @@ func run(args []string) error {
 		return http.ListenAndServe(*serve, web.NewServer(inf))
 	}
 	return nil
+}
+
+// cameraSweep generates one frame per fleet camera — the trickle the watch
+// and serve modes push through the frame pipeline so the per-camera vec
+// families, /api/cameras, and the fleet pane reflect live traffic.
+func cameraSweep(inf *core.Infrastructure, rng *rand.Rand, seq *int) []core.FrameEvent {
+	frames := make([]core.FrameEvent, 0, len(inf.Cameras))
+	for _, cam := range inf.Cameras {
+		*seq++
+		frames = append(frames, core.FrameEvent{
+			CameraID:     cam.ID,
+			Seq:          *seq,
+			Class:        "vehicle",
+			Confidence:   0.5 + rng.Float64()*0.5,
+			RawBytes:     64 << 10,
+			FeatureBytes: 8 << 10,
+			Priority:     1 + *seq%3,
+		})
+	}
+	return frames
 }

@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper's figures and quantitative
-// claims (experiments E1..E25, see DESIGN.md §4). Without arguments it runs
+// claims (experiments E1..E26, see DESIGN.md §4). Without arguments it runs
 // everything; pass experiment ids to run a subset.
 //
 //	go run ./cmd/experiments                         # all experiments
@@ -37,7 +37,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "random seed shared by all experiments")
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	benchJSON := fs.String("bench-json", "", "benchmark the E18..E22, E24, and E25 hot paths plus the monitoring, control, incident, and broker micro paths and write ops/sec + p99 JSON to this file")
+	benchJSON := fs.String("bench-json", "", "benchmark the E18..E22 and E24..E26 hot paths plus the monitoring, control, incident, fleet, and broker micro paths and write ops/sec + p99 JSON to this file")
 	benchLabel := fs.String("bench-label", "", "free-form label (e.g. PR7) embedded in the -bench-json output so benchdiff can name what it compares")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,9 +138,10 @@ func benchClusterFixture(rf int) (*stream.Cluster, error) {
 // through the hardened ingestion path), E19 (fog latency attribution), E20
 // (traced chaos sweep across the offload boundary), E21 (metrics monitor
 // loop), E22 (replicated-broker failover), E24 (closed-loop adaptive
-// control), and E25 (incident correlation) — plus the monitoring, broker,
-// control, and incident micro paths a deployment pays on every scrape tick
-// and produce, and records throughput plus tail latency.
+// control), E25 (incident correlation), and E26 (fleet-scale per-camera
+// observability) — plus the monitoring, control, incident, fleet, and
+// broker micro paths a deployment pays on every scrape tick and produce,
+// and records throughput plus tail latency.
 // gitCommit returns the short hash of HEAD, or "" when git (or the repo)
 // is unavailable — bench JSON stays writable from an exported tarball.
 func gitCommit() string {
@@ -159,7 +160,7 @@ func writeBenchJSON(path string, seed int64, label string) error {
 		id    string
 		iters int
 	}{
-		{"E18", 20}, {"E19", 20}, {"E20", 20}, {"E21", 20}, {"E22", 20}, {"E24", 3}, {"E25", 10},
+		{"E18", 20}, {"E19", 20}, {"E20", 20}, {"E21", 20}, {"E22", 20}, {"E24", 3}, {"E25", 10}, {"E26", 5},
 	}
 	var results []benchResult
 	for _, e := range experimentIters {
@@ -261,6 +262,28 @@ func writeBenchJSON(path string, seed int64, label string) error {
 		return err
 	}
 	results = append(results, incTick)
+
+	// Fleet micro path: one per-camera accounting window close over a fleet
+	// warmed with a frame per camera — the cost MonitorTick pays for the
+	// dimensional layer on every scrape.
+	var warm []core.FrameEvent
+	for i, cam := range inf.Cameras {
+		warm = append(warm, core.FrameEvent{
+			CameraID: cam.ID, Seq: i, Class: "vehicle", Confidence: 0.9,
+			RawBytes: 1 << 10, FeatureBytes: 256, Priority: 1,
+		})
+	}
+	if _, err := inf.IngestFrames(warm, ""); err != nil {
+		return err
+	}
+	fleetTick, err := benchLoop("Fleet.Tick", microIters, func(int) error {
+		inf.Fleet.Tick()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	results = append(results, fleetTick)
 
 	// Broker micro paths: produce at RF 1 (leader-only ack) vs RF 3 (ack
 	// after full-ISR replication), and the poll-then-commit consumer hop.

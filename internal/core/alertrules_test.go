@@ -1,28 +1,11 @@
 package core
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
-
-// ruleSeries extracts the series name an alert expression reads: either the
-// bare series of an instant query or the inner operand of a windowed
-// function like rate(name[15s]).
-func ruleSeries(expr string) string {
-	if open := strings.IndexByte(expr, '('); open >= 0 {
-		expr = expr[open+1:]
-		if close := strings.IndexByte(expr, ')'); close >= 0 {
-			expr = expr[:close]
-		}
-	}
-	if bracket := strings.IndexByte(expr, '['); bracket >= 0 {
-		expr = expr[:bracket]
-	}
-	return strings.TrimSpace(expr)
-}
 
 // TestDefaultAlertRulesTable pins the shipped rule set — names, severities,
 // comparison setpoints, streak requirements — and proves every referenced
@@ -41,6 +24,7 @@ func TestDefaultAlertRulesTable(t *testing.T) {
 		{"ingest-delivery-rate", telemetry.LevelError, tsdb.CmpGT, 0, 1, 0},
 		{"breaker-open", telemetry.LevelError, tsdb.CmpGT, 1.5, 0, 0},
 		{"hdfs-lost-blocks", telemetry.LevelError, tsdb.CmpGT, 0, 0, 0},
+		{"camera-delivery-rate", telemetry.LevelError, tsdb.CmpGT, 0, 1, 0},
 		{"ingest-p99-anomaly", telemetry.LevelWarn, "", 0, 1, 4},
 		{"broker-under-replicated", telemetry.LevelWarn, tsdb.CmpGT, 0, 0, 0},
 		{"profile-hot-region-anomaly", telemetry.LevelWarn, tsdb.CmpGT, 0.05, 0, 4},
@@ -81,7 +65,10 @@ func TestDefaultAlertRulesTable(t *testing.T) {
 		}
 	}
 
-	// Every rule's series must resolve after real traffic and one scrape.
+	// Every rule's expression must evaluate cleanly after real traffic and
+	// enough scrapes to fill the 15 s rate windows, so a renamed metric (or a
+	// selector the query layer can't parse) can't silently turn a rule into a
+	// never-firing no-op.
 	inf := bootSmall(t)
 	if _, err := inf.IngestFrames([]FrameEvent{{
 		CameraID: "cam-1", Seq: 1, Class: "vehicle", Confidence: 0.3,
@@ -89,14 +76,12 @@ func TestDefaultAlertRulesTable(t *testing.T) {
 	}}, ""); err != nil {
 		t.Fatal(err)
 	}
-	inf.MonitorTick()
+	for i := 0; i < 3; i++ {
+		inf.MonitorTick()
+	}
 	for _, r := range rules {
-		series := ruleSeries(r.Expr)
-		if series == "" {
-			t.Fatalf("%s: no series in expr %q", r.Name, r.Expr)
-		}
-		if _, err := inf.TSDB.Latest(series); err != nil {
-			t.Errorf("%s: series %q missing after scrape: %v", r.Name, series, err)
+		if _, err := inf.TSDB.Eval(r.Expr, inf.TSDB.Now()); err != nil {
+			t.Errorf("%s: expr %q did not resolve after scrape: %v", r.Name, r.Expr, err)
 		}
 	}
 

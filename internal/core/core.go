@@ -69,6 +69,14 @@ type Config struct {
 	Gang    socialgraph.GenConfig
 	// Epoch anchors generated timestamps.
 	Epoch time.Time
+	// FleetMaxSeries is the per-family top-K budget for per-camera metric
+	// series: the K busiest cameras own real series, the tail folds into one
+	// {camera="~other"} rollup (0 defaults to telemetry.DefaultVecMaxSeries).
+	FleetMaxSeries int
+	// DisableFleetTelemetry turns off the per-camera dimensional layer
+	// entirely (global metrics are unaffected). Used by E26's overhead
+	// baseline arm; production deployments leave it on.
+	DisableFleetTelemetry bool
 }
 
 // DefaultConfig returns a laptop-scale deployment faithful to the paper's
@@ -128,6 +136,10 @@ type Infrastructure struct {
 	Healer    *hdfs.Supervisor
 	Events    *telemetry.EventLog
 	SLOs      *telemetry.SLOMonitor
+	// Fleet is the per-camera dimensional layer: bounded-cardinality vec
+	// families on the frame path plus the windowed per-camera accounting
+	// behind /api/cameras. nil when cfg.DisableFleetTelemetry is set.
+	Fleet *Fleet
 
 	// Monitoring layer: the embedded time-series store scrapes the registry
 	// into ring-buffer history on every MonitorTick, and the alert engine
@@ -271,6 +283,7 @@ func New(cfg Config, rng *rand.Rand) (*Infrastructure, error) {
 	inf.Events = telemetry.NewEventLog(nil, 512)
 	inf.SLOs = telemetry.NewSLOMonitor(nil)
 	inf.wireTelemetry()
+	inf.wireFleet()
 	inf.Bus = stream.NewMeteredBus(inf.Broker, inf.busMetrics, nil)
 	if err := inf.wireMonitor(); err != nil {
 		return nil, fmt.Errorf("boot monitor: %w", err)

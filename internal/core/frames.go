@@ -61,6 +61,9 @@ func (inf *Infrastructure) IngestFrames(frames []FrameEvent, archiveDir string) 
 		if shedFloor := inf.Knobs.ShedLevel(); shedFloor > 0 && f.Priority < shedFloor {
 			out.Shed++
 			inf.framesShed.Add(1)
+			if cam := inf.fleetCam(f.CameraID); cam != nil {
+				cam.shed.Inc()
+			}
 			continue
 		}
 		ps, traceID, offloaded, err := inf.ingestFrame(f, archiveDir)
@@ -92,11 +95,18 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, archiveDir string) (stats P
 	root := inf.traceIngest("ingest-frame")
 	rootCtx := root.Context()
 	traceID = rootCtx.TraceID
+	cam := inf.fleetCam(f.CameraID)
+	if cam != nil {
+		cam.ingested.Inc()
+	}
 	pi := inf.profIngest.Start()
 	defer func() {
 		pi.End()
 		root.End()
 		inf.recordPipeline(&stats, start, rootCtx.TraceID)
+		if cam != nil {
+			cam.e2e.Observe(time.Since(start).Seconds())
+		}
 	}()
 
 	// Edge tier: frame capture plus the tiny exit-1 model.
@@ -117,6 +127,9 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, archiveDir string) (stats P
 	spGate.SetTier("fog")
 	pg := inf.profGate.Start()
 	offload = f.Confidence < threshold
+	if cam != nil && offload {
+		cam.offloaded.Inc()
+	}
 	headers := rootCtx.Inject(map[string]string{
 		"camera":  f.CameraID,
 		"seq":     strconv.Itoa(f.Seq),
@@ -147,6 +160,9 @@ func (inf *Infrastructure) ingestFrame(f FrameEvent, archiveDir string) (stats P
 	stats.Retries += cs.Retries
 	if perr != nil {
 		inf.deadLetter(&stats, "frames", "produce", f.CameraID, body, perr, rootCtx.TraceID)
+		if cam != nil {
+			cam.undelivered.Inc()
+		}
 	}
 	pst.End()
 	spProduce.End()
@@ -210,6 +226,11 @@ func (inf *Infrastructure) serveFrame(headers map[string]string, key string, val
 	var f FrameEvent
 	if err := json.Unmarshal(value, &f); err != nil {
 		inf.deadLetter(stats, "frames", "decode", key, value, err, ctx.TraceID)
+		// The record key is the producing camera's id, so even a poisoned
+		// payload stays attributed in the fleet accounting.
+		if cam := inf.fleetCam(key); cam != nil {
+			cam.undelivered.Inc()
+		}
 		return
 	}
 	offloaded := headers["offload"] == "true"
@@ -225,6 +246,7 @@ func (inf *Infrastructure) archiveFrame(parent *telemetry.Span, f FrameEvent, va
 	spArchive := parent.Child("archive")
 	spArchive.SetTier("cloud")
 	defer spArchive.End()
+	cam := inf.fleetCam(f.CameraID)
 	row := fmt.Sprintf("%s|%06d", f.CameraID, f.Seq)
 	putCell := func(family, qual string, val []byte) error {
 		op := func() error { return inf.VideoTab.Put(row, family, qual, val) }
@@ -238,11 +260,17 @@ func (inf *Infrastructure) archiveFrame(parent *telemetry.Span, f FrameEvent, va
 	}
 	if err := putCell("det", "class", []byte(f.Class)); err != nil {
 		inf.deadLetter(stats, "frames", "hbase", row, value, err, traceID)
+		if cam != nil {
+			cam.undelivered.Inc()
+		}
 		return
 	}
 	stats.Stored++
 	if err := putCell("det", "confidence", []byte(strconv.FormatFloat(f.Confidence, 'f', 4, 64))); err != nil {
 		inf.deadLetter(stats, "frames", "hbase", row, value, err, traceID)
+		if cam != nil {
+			cam.undelivered.Inc()
+		}
 		return
 	}
 	stats.Stored++
@@ -252,8 +280,14 @@ func (inf *Infrastructure) archiveFrame(parent *telemetry.Span, f FrameEvent, va
 		stats.Retries += cs.Retries
 		if err != nil {
 			inf.deadLetter(stats, "frames", "hdfs", path, value, err, traceID)
+			if cam != nil {
+				cam.undelivered.Inc()
+			}
 			return
 		}
 		stats.Stored++
+	}
+	if cam != nil {
+		cam.delivered.Inc()
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/incident"
 	"repro/internal/retry"
 	"repro/internal/telemetry"
@@ -87,7 +89,12 @@ func (inf *Infrastructure) wireIncidents() {
 	// deterministic evidence and would break canonical replay. Hot-region
 	// context still reaches incident records through the SetHotRegion
 	// diagnostic below.
-	cfg.ExcludeRulePrefixes = []string{"control-", "profile-", "ingest-p99-anomaly"}
+	// camera-* is excluded for a different reason: the fleet rule fires on
+	// the same quarantines that already fire ingest-delivery-rate, so letting
+	// it open/hold incidents would only double-count the symptom. Per-camera
+	// context reaches the incident record through the SetEvidence supplier
+	// below instead.
+	cfg.ExcludeRulePrefixes = []string{"control-", "profile-", "ingest-p99-anomaly", "camera-"}
 	// A quarantine whose cause chain contains the breaker's fail-fast
 	// marker never reached the stage's backend: classify it as shared
 	// breaker collateral instead of backend evidence, so a breaker opened
@@ -99,6 +106,29 @@ func (inf *Infrastructure) wireIncidents() {
 	// incident record for operators but is excluded from canonical replay
 	// output — the same determinism boundary as wireControl's nil
 	// Signals.HotRegion.
+	// Per-camera evidence on frame-path backend suspects: which cameras the
+	// component's failure is actually hurting, ranked by burn. Exact counter
+	// reads off the fleet's vec handles — deterministic under the simulated
+	// clock, so the strings survive canonical replay byte-identically.
+	inf.Incidents.SetEvidence(func(component string) []string {
+		if inf.Fleet == nil {
+			return nil
+		}
+		switch component {
+		case telemetry.CompBroker, telemetry.CompHBase, telemetry.CompHDFS:
+		default:
+			return nil
+		}
+		var out []string
+		for _, cs := range inf.Fleet.TopBurning(3) {
+			if cs.Undelivered == 0 {
+				continue
+			}
+			out = append(out, fmt.Sprintf("camera %s: %d/%d frames undelivered, burn %.1f",
+				cs.Camera, cs.Undelivered, cs.Ingested, cs.Burn))
+		}
+		return out
+	})
 	inf.Incidents.SetHotRegion(func() (string, float64) {
 		hot := inf.Profiler.HotRegions(1)
 		if len(hot) == 0 {

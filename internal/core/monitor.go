@@ -39,6 +39,17 @@ func DefaultAlertRules() []tsdb.Rule {
 			Op:   tsdb.CmpGT, Threshold: 0,
 		},
 		{
+			// Fleet localization: any camera quarantining frames inside the
+			// window. The max() aggregation over the bounded per-camera family
+			// keeps the rule single-valued; which camera is burning is read
+			// from /api/cameras or the watch fleet pane. Evaluates to "no
+			// data" (never breaches) when fleet telemetry is disabled.
+			Name: "camera-delivery-rate", Severity: telemetry.LevelError,
+			Expr: "max(rate(cityinfra_camera_frames_undelivered_total[15s]))",
+			Op:   tsdb.CmpGT, Threshold: 0, ForTicks: 1,
+			ExemplarFrom: "cityinfra_pipeline_ingest_seconds",
+		},
+		{
 			Name: "ingest-p99-anomaly", Severity: telemetry.LevelWarn,
 			Expr:   "cityinfra_pipeline_ingest_seconds_p99",
 			ZScore: 4, WarmupTicks: 8, ForTicks: 1,
@@ -122,6 +133,12 @@ func (inf *Infrastructure) MonitorTick() {
 	// Close the profiling window before the scrape so the
 	// cityinfra_profile_* gauges sample the window that just ended.
 	inf.Profiler.Tick()
+	// Close the fleet's per-camera window before the scrape so the burn
+	// gauges — and the vec top-K rebalance the scrape triggers — reflect the
+	// tick that just ended.
+	if inf.Fleet != nil {
+		inf.Fleet.Tick()
+	}
 	inf.TSDB.Scrape()
 	inf.Alerts.Eval()
 	// Correlation runs between the alert evaluation and the controller: it

@@ -72,6 +72,7 @@ var registry = []registration{
 	{"E23", "observability — continuous profiling: hot regions, overhead budget, burn localization", E23Profile},
 	{"E24", "autonomy — closed-loop adaptive control vs static baseline under phased partitions", E24AdaptiveControl},
 	{"E25", "observability — incident correlation: root-cause ranking under single-op partitions", E25IncidentCorrelation},
+	{"E26", "observability — fleet-scale per-camera labels: bounded cardinality, targeted-fault localization", E26FleetObservability},
 }
 
 // IDs lists experiment ids in order.

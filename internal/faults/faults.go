@@ -54,6 +54,12 @@ type Config struct {
 	// partitions only the broker while storage stays healthy). Empty means
 	// every op. CPU burns keep their own BurnOp targeting.
 	TargetOps []string
+	// TargetKeys further restricts injection on key-carrying seams (broker
+	// produces route a record key — the camera id on the frames topic) to
+	// exact key matches: a single camera's uplink can be blacked out while
+	// the other 200+ stay healthy. Empty means every key. Seams without a
+	// key ignore the filter.
+	TargetKeys []string
 	// BurnOp names the single operation whose calls burn real CPU for
 	// BurnMs wall-clock milliseconds each ("" burns every op). Unlike
 	// LatencySpikeMs — bookkeeping on the simulated clock — a burn
@@ -130,6 +136,32 @@ func (in *Injector) Decide(op string) Fault {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.decideLocked(op, in.rng)
+}
+
+// DecideKey is Decide for seams that route a record key (the camera id on
+// broker produces). When TargetKeys is set, non-matching keys stay
+// fault-free and draw nothing from the random stream — their op call
+// counters don't advance either, so a blackout cadence of "every Nth call"
+// means every Nth call **by the targeted cameras**, which keeps single-
+// camera fault schedules identical no matter how much healthy fleet traffic
+// interleaves. With no TargetKeys it is exactly Decide.
+func (in *Injector) DecideKey(op, key string) Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.cfg.TargetKeys) > 0 && !in.targetedKey(key) {
+		return Fault{}
+	}
+	return in.decideLocked(op, in.rng)
+}
+
+// targetedKey reports whether key passes the TargetKeys exact-match filter.
+func (in *Injector) targetedKey(key string) bool {
+	for _, k := range in.cfg.TargetKeys {
+		if key == k {
+			return true
+		}
+	}
+	return false
 }
 
 // decideLocked is Decide's body, parameterized over the random stream so op
@@ -282,9 +314,11 @@ func (b *FlakyBus) Produce(topic, key string, value []byte) (int, int64, error) 
 	return b.ProduceH(topic, key, value, nil)
 }
 
-// ProduceH injects on the "bus.produce" op, then forwards with headers.
+// ProduceH injects on the "bus.produce" op, then forwards with headers. The
+// record key — the camera id on the frames topic — rides into the decision
+// so TargetKeys can partition one camera's uplink.
 func (b *FlakyBus) ProduceH(topic, key string, value []byte, headers map[string]string) (int, int64, error) {
-	f := b.inj.Decide("bus.produce")
+	f := b.inj.DecideKey("bus.produce", key)
 	f.Burn()
 	if f.Err != nil {
 		return 0, 0, f.Err

@@ -258,3 +258,43 @@ func TestTargetOpsPrefixMatch(t *testing.T) {
 		t.Error("burn leaked past BurnOp")
 	}
 }
+
+func TestTargetKeysScopeProduceInjection(t *testing.T) {
+	broker := stream.NewBroker()
+	if err := broker.CreateTopic("frames", 1); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(Config{
+		Seed: 9, BlackoutEvery: 1, BlackoutLen: 1,
+		TargetOps: []string{"bus.produce"}, TargetKeys: []string{"cam-007"},
+	})
+	bus := NewFlakyBus(broker, inj)
+	// Healthy-fleet produces pass through untouched, every time.
+	for i := 0; i < 20; i++ {
+		if _, _, err := bus.Produce("frames", "cam-001", []byte("v")); err != nil {
+			t.Fatalf("untargeted camera produce %d: %v", i, err)
+		}
+	}
+	// The targeted camera is hard-partitioned.
+	if _, _, err := bus.Produce("frames", "cam-007", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("targeted camera err = %v, want injected", err)
+	}
+	// Healthy traffic interleaving must not perturb the targeted schedule:
+	// the per-op call counter only advances for targeted keys.
+	st := inj.Stats()["bus.produce"]
+	if st.Calls != 1 || st.Blackouts != 1 {
+		t.Fatalf("bus.produce stats = %+v, want exactly the targeted camera's call", st)
+	}
+	// Keyless seams ignore the filter entirely.
+	if f := inj.DecideKey("bus.produce", "cam-001"); f.Err != nil {
+		t.Fatalf("untargeted key drew a fault: %v", f.Err)
+	}
+	// With no TargetKeys, DecideKey behaves exactly like Decide.
+	plain := NewInjector(Config{Seed: 9, BlackoutEvery: 2, BlackoutLen: 1, TargetOps: []string{"bus.produce"}})
+	if f := plain.DecideKey("bus.produce", "anything"); f.Err != nil {
+		t.Fatalf("call 1 should be clean: %v", f.Err)
+	}
+	if f := plain.DecideKey("bus.produce", "anything"); f.Err == nil {
+		t.Fatal("call 2 should hit the blackout cadence")
+	}
+}

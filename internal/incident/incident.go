@@ -134,15 +134,19 @@ type TimelineEntry struct {
 
 // Suspect is one ranked root-cause candidate with its evidence breakdown.
 // Depth is the minimum dependency-graph distance from an alerted symptom
-// (-1 when unreachable).
+// (-1 when unreachable). Evidence carries human-readable detail strings
+// supplied by the SetEvidence hook (for the frame path: which cameras this
+// component's failure is hurting) — they must be deterministic, because they
+// ride Canonical().
 type Suspect struct {
-	Component string  `json:"component"`
-	Score     float64 `json:"score"`
-	Depth     int     `json:"depth"`
-	DLQ       int     `json:"dlq,omitempty"`
-	Infra     int     `json:"infra,omitempty"`
-	Breaker   int     `json:"breaker,omitempty"`
-	RuleHits  int     `json:"ruleHits,omitempty"`
+	Component string   `json:"component"`
+	Score     float64  `json:"score"`
+	Depth     int      `json:"depth"`
+	DLQ       int      `json:"dlq,omitempty"`
+	Infra     int      `json:"infra,omitempty"`
+	Breaker   int      `json:"breaker,omitempty"`
+	RuleHits  int      `json:"ruleHits,omitempty"`
+	Evidence  []string `json:"evidence,omitempty"`
 }
 
 // Incident states.
@@ -190,6 +194,10 @@ type Engine struct {
 	// hot supplies the profiler's current hottest region and its share —
 	// wall-clock measurement, attached to incidents as a diagnostic only.
 	hot func() (string, float64)
+	// evidenceFor supplies per-component detail strings for ranked suspects
+	// (nil component answers are fine). Must be deterministic: the strings
+	// are part of Canonical().
+	evidenceFor func(component string) []string
 
 	mu        sync.Mutex
 	tick      int64
@@ -240,6 +248,16 @@ func NewEngine(tracer *telemetry.Tracer, events *telemetry.EventLog, alerts Aler
 func (e *Engine) SetHotRegion(fn func() (string, float64)) {
 	e.mu.Lock()
 	e.hot = fn
+	e.mu.Unlock()
+}
+
+// SetEvidence wires the per-suspect detail supplier. Optional. The function
+// is called during suspect ranking (under the engine lock) and must not call
+// back into the engine; its output must be deterministic for a given
+// telemetry state, since it lands in Canonical().
+func (e *Engine) SetEvidence(fn func(component string) []string) {
+	e.mu.Lock()
+	e.evidenceFor = fn
 	e.mu.Unlock()
 }
 
@@ -688,6 +706,9 @@ func (e *Engine) rankSuspects(inc *Incident) {
 			}
 		}
 		s.Score = base*factor + weightRuleHit*float64(s.RuleHits)
+		if e.evidenceFor != nil {
+			s.Evidence = e.evidenceFor(c)
+		}
 		suspects = append(suspects, s)
 	}
 	sort.Slice(suspects, func(a, b int) bool {
@@ -767,6 +788,9 @@ func snapshotIncident(inc *Incident) Incident {
 	cp.ruleSet, cp.evidence = nil, nil
 	cp.Rules = append([]string(nil), inc.Rules...)
 	cp.Suspects = append([]Suspect(nil), inc.Suspects...)
+	for i := range cp.Suspects {
+		cp.Suspects[i].Evidence = append([]string(nil), inc.Suspects[i].Evidence...)
+	}
 	cp.Exemplars = append([]string(nil), inc.Exemplars...)
 	cp.Timeline = append([]TimelineEntry(nil), inc.Timeline...)
 	return cp

@@ -138,6 +138,30 @@ func (h *Histogram) WorstExemplar() (Exemplar, bool) {
 	return ex[0], true
 }
 
+// mergeFrom folds src's bucket counts, observation count, and sum into h.
+// Both histograms must share bucket bounds (vec children always do: the
+// family hands every child the same bounds). Used when a vec child is
+// demoted into its family's rollup series; exemplars stay behind.
+func (h *Histogram) mergeFrom(src *Histogram) {
+	for i := range src.counts {
+		if n := src.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	if n := src.count.Load(); n > 0 {
+		h.count.Add(n)
+	}
+	if s := src.Sum(); s != 0 {
+		for {
+			old := h.sum.Load()
+			nw := math.Float64bits(math.Float64frombits(old) + s)
+			if h.sum.CompareAndSwap(old, nw) {
+				break
+			}
+		}
+	}
+}
+
 // CountAtOrBelow returns how many observations landed in buckets whose upper
 // bound is <= bound — the "good" numerator for latency-threshold SLOs.
 func (h *Histogram) CountAtOrBelow(bound float64) uint64 {

@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Labels are first-class here, not string suffixes: a parsed label set with
+// canonical key ordering and spec-correct exposition escaping is what lets
+// the registry, the vec families (vec.go), and the TSDB's label selectors
+// all agree on which series `name{camera="cam-7"}` is. The canonical wire
+// form — keys sorted, values escaped per the Prometheus text format — is
+// still used as the registry map key, so one camera is always exactly one
+// series no matter which layer formatted the name.
+
+// Label is one key="value" pair.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// LabelSet is a parsed label block in canonical (key-sorted) order.
+type LabelSet []Label
+
+// Get returns the value for key ("" when absent).
+func (ls LabelSet) Get(key string) string {
+	for _, l := range ls {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// String renders the canonical exposition form: `{k1="v1",k2="v2"}` with
+// keys sorted and values escaped. An empty set renders as "".
+func (ls LabelSet) String() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortLabels orders a label set by key (stable for the canonical form).
+func sortLabels(ls LabelSet) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and line feed — and nothing else. (This
+// is deliberately not %q: Go quoting also escapes control and non-ASCII
+// bytes, which the exposition format passes through raw.)
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLabelValue reverses EscapeLabelValue. Unknown escape sequences are
+// an error — a scrape-side parser that guessed would silently corrupt
+// round-trips.
+func UnescapeLabelValue(v string) (string, error) {
+	if !strings.ContainsRune(v, '\\') {
+		return v, nil
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(v) {
+			return "", fmt.Errorf("telemetry: trailing backslash in label value %q", v)
+		}
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("telemetry: bad escape \\%c in label value %q", v[i], v)
+		}
+	}
+	return b.String(), nil
+}
+
+// validLabelKey checks the exposition label-name grammar
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelKey(k string) bool {
+	if k == "" {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// FormatName renders the canonical full series name for a family plus label
+// set: family{k="v",...} with keys sorted and values escaped.
+func FormatName(family string, labels LabelSet) string {
+	if len(labels) == 0 {
+		return family
+	}
+	ls := make(LabelSet, len(labels))
+	copy(ls, labels)
+	sortLabels(ls)
+	return family + ls.String()
+}
+
+// ParseName splits a full series name into its family and parsed label set.
+// Names without a label block parse to a nil set. The label grammar is the
+// canonical exposition subset this package emits: `{k="v",k2="v2"}` with
+// escaped values and no trailing comma.
+func ParseName(full string) (family string, labels LabelSet, err error) {
+	brace := strings.IndexByte(full, '{')
+	if brace < 0 {
+		return full, nil, nil
+	}
+	family = full[:brace]
+	block := full[brace:]
+	if !strings.HasSuffix(block, "}") {
+		return "", nil, fmt.Errorf("telemetry: unclosed label block in %q", full)
+	}
+	body := block[1 : len(block)-1]
+	if body == "" {
+		return "", nil, fmt.Errorf("telemetry: empty label matcher in %q", full)
+	}
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return "", nil, fmt.Errorf("telemetry: label pair missing '=' in %q", full)
+		}
+		key := strings.TrimSpace(body[:eq])
+		if !validLabelKey(key) {
+			return "", nil, fmt.Errorf("telemetry: bad label name %q in %q", key, full)
+		}
+		rest := strings.TrimSpace(body[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", nil, fmt.Errorf("telemetry: label %s missing quoted value in %q", key, full)
+		}
+		// Scan the quoted value, honoring escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, fmt.Errorf("telemetry: unterminated label value for %s in %q", key, full)
+		}
+		val, uerr := UnescapeLabelValue(rest[1:end])
+		if uerr != nil {
+			return "", nil, uerr
+		}
+		labels = append(labels, Label{Key: key, Value: val})
+		body = strings.TrimSpace(rest[end+1:])
+		if body == "" {
+			break
+		}
+		if body[0] != ',' {
+			return "", nil, fmt.Errorf("telemetry: label pairs not comma-separated in %q", full)
+		}
+		body = strings.TrimSpace(body[1:])
+		if body == "" {
+			return "", nil, fmt.Errorf("telemetry: trailing comma in label block of %q", full)
+		}
+	}
+	sortLabels(labels)
+	return family, labels, nil
+}

@@ -114,6 +114,7 @@ type metric struct {
 type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]*metric
+	vecs    []*vecFamily
 }
 
 // NewRegistry creates an empty registry.
@@ -124,12 +125,15 @@ func NewRegistry() *Registry {
 // WithLabel appends one {key="value"} label pair to a metric name,
 // pre-formatting it so the hot path never touches strings. Calling it on a
 // name that already has labels inserts the new pair before the closing
-// brace.
+// brace. Values are escaped per the exposition format (labels.go), so a
+// value containing quotes, backslashes, or newlines round-trips through
+// /metrics parsers exactly.
 func WithLabel(name, key, value string) string {
+	pair := key + `="` + EscapeLabelValue(value) + `"`
 	if n := len(name); n > 0 && name[n-1] == '}' {
-		return fmt.Sprintf(`%s,%s=%q}`, name[:n-1], key, value)
+		return name[:n-1] + "," + pair + "}"
 	}
-	return fmt.Sprintf(`%s{%s=%q}`, name, key, value)
+	return name + "{" + pair + "}"
 }
 
 // baseName strips the {label...} suffix, yielding the metric family name
@@ -217,9 +221,31 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.metrics[name] = &metric{name: name, help: help, kind: kindGaugeFunc, fn: fn}
 }
 
+// unregister drops a metric by full name (vec demotion only; ordinary
+// instruments are registered for life).
+func (r *Registry) unregister(name string) {
+	r.mu.Lock()
+	delete(r.metrics, name)
+	r.mu.Unlock()
+}
+
+// rebalanceVecs re-ranks every vec family's children against its top-K
+// budget before a snapshot, so what gets exposed is the heavy-hitter set as
+// of this scrape.
+func (r *Registry) rebalanceVecs() {
+	r.mu.RLock()
+	vecs := make([]*vecFamily, len(r.vecs))
+	copy(vecs, r.vecs)
+	r.mu.RUnlock()
+	for _, v := range vecs {
+		v.rebalance()
+	}
+}
+
 // sortedMetrics snapshots the registry in deterministic exposition order:
 // family name, then full name.
 func (r *Registry) sortedMetrics() []*metric {
+	r.rebalanceVecs()
 	r.mu.RLock()
 	out := make([]*metric, 0, len(r.metrics))
 	for _, m := range r.metrics {

@@ -1,0 +1,176 @@
+package tsdb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fleetStore builds a store over a small labeled fleet: three per-camera
+// counters plus the rollup, scraped twice so rate() has a window.
+func fleetStore(t *testing.T) (*Store, *manualNow) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	vec := reg.CounterVec("frames_total", "frames per camera", "camera", 8)
+	cams := []string{"cam-1", "cam-2", "cam-3"}
+	handles := make([]*telemetry.LabeledCounter, len(cams))
+	for i, id := range cams {
+		handles[i] = vec.With(id)
+	}
+	st, clk := newTestStore(reg, 16)
+	for tick := 1; tick <= 3; tick++ {
+		for i, h := range handles {
+			h.Add((i + 1) * tick)
+		}
+		clk.advance(5 * time.Second)
+		st.Scrape()
+	}
+	return st, clk
+}
+
+func TestSelectorExactAndFamilyMatch(t *testing.T) {
+	st, _ := fleetStore(t)
+
+	// Labeled selector resolves to exactly that camera's series.
+	v, err := st.Eval(`frames_total{camera="cam-2"}`, st.Now())
+	if err != nil {
+		t.Fatalf("labeled instant: %v", err)
+	}
+	if v.Value != 2+4+6 {
+		t.Fatalf("cam-2 instant = %g, want 12", v.Value)
+	}
+	if v.Labels["camera"] != "cam-2" {
+		t.Fatalf("labels = %v", v.Labels)
+	}
+
+	// A bare family name fans out to every child (plus rollup) via EvalAll.
+	vals, err := st.EvalAll("frames_total", st.Now())
+	if err != nil {
+		t.Fatalf("family EvalAll: %v", err)
+	}
+	if len(vals) != 4 { // 3 cameras + ~other rollup
+		t.Fatalf("family matched %d series, want 4", len(vals))
+	}
+
+	// The single-value Eval refuses the ambiguous match with a bad-expr
+	// error that tells the caller to aggregate.
+	if _, err := st.Eval("frames_total", st.Now()); !errors.Is(err, ErrBadExpr) {
+		t.Fatalf("ambiguous Eval error = %v, want ErrBadExpr", err)
+	}
+
+	// Unknown camera is an unknown-series miss, not a parse error.
+	if _, err := st.Eval(`frames_total{camera="cam-9"}`, st.Now()); !errors.Is(err, ErrUnknownSeries) {
+		t.Fatalf("unknown camera error = %v, want ErrUnknownSeries", err)
+	}
+}
+
+func TestAggregationSumBy(t *testing.T) {
+	st, _ := fleetStore(t)
+
+	// sum(...) folds the whole family into one scalar.
+	v, err := st.Eval("sum(frames_total)", st.Now())
+	if err != nil {
+		t.Fatalf("sum: %v", err)
+	}
+	want := (1 + 2 + 3) + (2 + 4 + 6) + (3 + 6 + 9) // cams 1..3 over 3 ticks
+	if v.Value != float64(want) {
+		t.Fatalf("sum = %g, want %d", v.Value, want)
+	}
+
+	// sum by (camera) yields one group per camera, sorted by label value.
+	vals, err := st.EvalAll("sum by (camera) (frames_total)", st.Now())
+	if err != nil {
+		t.Fatalf("sum by: %v", err)
+	}
+	if len(vals) != 4 {
+		t.Fatalf("sum by groups = %d, want 4", len(vals))
+	}
+	if vals[0].Labels["camera"] != "cam-1" || vals[0].Value != 6 {
+		t.Fatalf("group[0] = %+v", vals[0])
+	}
+	if vals[3].Labels["camera"] != telemetry.RollupValue {
+		t.Fatalf("group[3] = %+v, want the rollup group last", vals[3])
+	}
+
+	// max(rate(...)) — the fleet-alert shape — picks the busiest camera.
+	mv, err := st.Eval("max(rate(frames_total[15s]))", st.Now())
+	if err != nil {
+		t.Fatalf("max rate: %v", err)
+	}
+	// cam-3 added 6 then 9 over the last two 5s intervals: (6+9)/10s = 1.5/s.
+	if mv.Value != 1.5 {
+		t.Fatalf("max rate = %g, want 1.5", mv.Value)
+	}
+	if mv.Func != "max rate" {
+		t.Fatalf("func = %q", mv.Func)
+	}
+}
+
+func TestAggregationSkipsYoungSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	vec := reg.CounterVec("v_total", "v", "camera", 8)
+	old := vec.With("cam-old")
+	st, clk := newTestStore(reg, 16)
+	old.Add(1)
+	clk.advance(5 * time.Second)
+	st.Scrape()
+	old.Add(1)
+	// A camera whose series appears on the last scrape has one sample:
+	// rate() needs two, so the fleet aggregate must skip it, not error.
+	vec.With("cam-new").Add(100)
+	clk.advance(5 * time.Second)
+	st.Scrape()
+	v, err := st.Eval("max(rate(v_total[15s]))", st.Now())
+	if err != nil {
+		t.Fatalf("max rate with young series: %v", err)
+	}
+	if v.Value <= 0 {
+		t.Fatalf("max rate = %g, want > 0", v.Value)
+	}
+}
+
+func TestMalformedSelectorsAreBadExpr(t *testing.T) {
+	st, _ := fleetStore(t)
+	cases := []string{
+		`frames_total{camera="cam-1"`,        // unclosed brace
+		`frames_total{}`,                     // empty matcher
+		`frames_total{camera=}`,              // unquoted value
+		`frames_total{camera="a\q"}`,         // bad escape
+		`rate(frames_total{camera="x"[15s])`, // unclosed brace inside fn
+		`sum by () (frames_total)`,           // empty by-clause
+		`sum by (a, b) (frames_total)`,       // multi-label by
+		`sum by (camera frames_total)`,       // unclosed by / missing body
+		`avg()`,                              // empty aggregation body
+	}
+	for _, expr := range cases {
+		if _, err := st.Eval(expr, st.Now()); !errors.Is(err, ErrBadExpr) {
+			t.Errorf("Eval(%q) error = %v, want ErrBadExpr", expr, err)
+		}
+	}
+}
+
+func TestAggHeadDoesNotShadowOverTimeFuncs(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("avg_queue", "g").Set(4)
+	g := reg.Gauge("depth", "g")
+	st, clk := newTestStore(reg, 16)
+	g.Set(2)
+	st.Scrape()
+	clk.advance(5 * time.Second)
+	g.Set(6)
+	st.Scrape()
+	// avg_over_time must parse as the window function, not as `avg` + junk.
+	v, err := st.Eval("avg_over_time(depth[15s])", st.Now())
+	if err != nil {
+		t.Fatalf("avg_over_time: %v", err)
+	}
+	if v.Value != 4 {
+		t.Fatalf("avg_over_time = %g, want 4", v.Value)
+	}
+	// And a series merely named like an op still resolves as a series.
+	if _, err := st.Eval("avg_queue", st.Now()); err != nil {
+		t.Fatalf("avg_queue instant: %v", err)
+	}
+}

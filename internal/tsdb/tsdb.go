@@ -34,12 +34,16 @@ type Sample struct {
 	Value      float64 `json:"value"`
 }
 
-// series is one metric's ring-buffer history.
+// series is one metric's ring-buffer history. The family and parsed label
+// set are computed once at creation so label-selector queries never re-parse
+// names on the read path.
 type series struct {
-	kind string // "counter" or "gauge"
-	buf  []Sample
-	next int
-	full bool
+	kind   string // "counter" or "gauge"
+	family string
+	labels telemetry.LabelSet
+	buf    []Sample
+	next   int
+	full   bool
 }
 
 func (s *series) append(sm Sample) {
@@ -192,6 +196,11 @@ func (st *Store) Scrape() int {
 		s, ok := st.series[name]
 		if !ok {
 			s = &series{kind: kind, buf: make([]Sample, st.cap)}
+			family, labels, err := telemetry.ParseName(name)
+			if err != nil {
+				family, labels = name, nil // unparsable names stay selectable verbatim
+			}
+			s.family, s.labels = family, labels
 			st.series[name] = s
 		}
 		s.append(Sample{TimeUnixNs: at, Value: v})

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // promSample is one parsed exposition sample line.
@@ -21,7 +23,10 @@ type promSample struct {
 	exemplarValue float64
 }
 
-var labelBlockRe = regexp.MustCompile(`^\{[A-Za-z_][A-Za-z0-9_]*="[^"]*"(,[A-Za-z_][A-Za-z0-9_]*="[^"]*")*\}$`)
+// Label values may contain backslash escapes (\\, \", \n) per the exposition
+// spec, so the value pattern must accept escaped characters, not stop at the
+// first quote.
+var labelBlockRe = regexp.MustCompile(`^\{[A-Za-z_][A-Za-z0-9_]*="(?:[^"\\]|\\.)*"(,[A-Za-z_][A-Za-z0-9_]*="(?:[^"\\]|\\.)*")*\}$`)
 var exemplarRe = regexp.MustCompile(`^# \{trace_id="([^"]+)"\} (\S+)$`)
 
 // parsePromExposition is a minimal Prometheus text-format (0.0.4) parser:
@@ -219,5 +224,57 @@ func TestMetricsExpositionRoundTrips(t *testing.T) {
 	}
 	if !anyExemplar {
 		t.Fatal("no exemplar trailer anywhere in the exposition")
+	}
+}
+
+// TestExpositionEscapedLabelValues proves a label value holding quotes,
+// backslashes, and a newline survives the exposition round trip with
+// spec-correct escapes: the emitted block uses exactly \\, \", and \n, the
+// whole line still parses, and unescaping restores the original bytes.
+func TestExpositionEscapedLabelValues(t *testing.T) {
+	srv, inf := newTestServer(t)
+	weird := "C:\\tmp \"x\"\nend"
+	inf.Telemetry.Counter(
+		telemetry.WithLabel("cityinfra_test_escapes_total", "path", weird),
+		"escape round-trip fixture").Add(3)
+	inf.MonitorTick()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, samples, err := parsePromExposition(string(raw))
+	if err != nil {
+		t.Fatalf("exposition with escaped label values does not round-trip: %v", err)
+	}
+	found := false
+	for _, s := range samples {
+		if s.name != "cityinfra_test_escapes_total" {
+			continue
+		}
+		found = true
+		if s.value != 3 {
+			t.Fatalf("escaped sample value = %v, want 3", s.value)
+		}
+		want := `{path="C:\\tmp \"x\"\nend"}`
+		if s.labels != want {
+			t.Fatalf("label block = %q, want %q", s.labels, want)
+		}
+		inner := s.labels[strings.Index(s.labels, `"`)+1 : strings.LastIndex(s.labels, `"`)]
+		got, err := telemetry.UnescapeLabelValue(inner)
+		if err != nil {
+			t.Fatalf("unescape %q: %v", inner, err)
+		}
+		if got != weird {
+			t.Fatalf("round trip = %q, want %q", got, weird)
+		}
+	}
+	if !found {
+		t.Fatal("escaped sample missing from exposition")
 	}
 }

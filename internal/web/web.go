@@ -42,6 +42,7 @@ func NewServer(inf *core.Infrastructure) *Server {
 	s.mux.HandleFunc("GET /api/tweets/near", s.handleTweetsNear)
 	s.mux.HandleFunc("GET /api/crimes/district/{id}", s.handleCrimesDistrict)
 	s.mux.HandleFunc("GET /api/cameras/near", s.handleCamerasNear)
+	s.mux.HandleFunc("GET /api/cameras", s.handleCameras)
 	s.mux.HandleFunc("GET /api/alerts", s.handleAlerts)
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -284,14 +285,17 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 
 // handleQuery evaluates one windowed expression against the time-series
 // store at its current clock reading: rate(), delta(), avg/min/max_over_time,
-// quantile_over_time, or a bare series name for an instant lookup.
+// quantile_over_time, a selector (`name` or `name{camera="cam-7"}`) for an
+// instant lookup, or a sum/avg/min/max aggregation (optionally `by (label)`).
+// A single-valued answer keeps the historical one-object shape; a selector or
+// grouped aggregation matching several series returns a vector.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	expr := r.URL.Query().Get("expr")
 	if expr == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: missing expr", ErrBadRequest))
 		return
 	}
-	v, err := s.inf.TSDB.Eval(expr, s.inf.TSDB.Now())
+	vals, err := s.inf.TSDB.EvalAll(expr, s.inf.TSDB.Now())
 	switch {
 	case errors.Is(err, tsdb.ErrUnknownSeries), errors.Is(err, tsdb.ErrNoSamples):
 		writeError(w, http.StatusNotFound, err)
@@ -300,7 +304,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
+	if len(vals) == 1 {
+		writeJSON(w, http.StatusOK, vals[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"expr": expr, "count": len(vals), "values": vals,
+	})
+}
+
+// handleCameras serves the fleet table: one row per camera the frame path
+// has ever seen (exact counts survive top-K rollup), the windowed rate/burn
+// accounting, and the cardinality summary proving the registry footprint
+// stays bounded. ?sort=burn switches from id order to hottest-first (only
+// cameras with signal); ?limit= caps the rows either way.
+func (s *Server) handleCameras(w http.ResponseWriter, r *http.Request) {
+	fl := s.inf.Fleet
+	if fl == nil {
+		writeError(w, http.StatusNotFound, errors.New("web: fleet telemetry disabled"))
+		return
+	}
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var rows []core.CameraStatus
+	switch sortKey := r.URL.Query().Get("sort"); sortKey {
+	case "", "id":
+		rows = fl.Report()
+	case "burn":
+		rows = fl.TopBurning(limit)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: sort must be id or burn", ErrBadRequest))
+		return
+	}
+	total := len(rows)
+	if limit > 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(rows), "total": total,
+		"summary": fl.Summary(), "cameras": rows,
+	})
 }
 
 // handleSeries lists the store's retained series inventory.
